@@ -1,0 +1,32 @@
+//! Fig. 6 — run-time software overhead (memory footprint).
+//!
+//! Prints the regenerated Fig. 6 table and benchmarks the footprint model.
+//! Run with: `cargo bench -p ioguard-bench --bench fig6_software_overhead`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ioguard_hw::footprint::{fig6, footprint, render_fig6, SystemKind};
+
+fn bench_fig6(c: &mut Criterion) {
+    // Regenerate and print the figure once, up front.
+    println!("\n=== Fig. 6 — run-time software overhead (KB) ===");
+    println!("{}", render_fig6());
+    let legacy = footprint(SystemKind::Legacy).system_software_total();
+    let rtxen = footprint(SystemKind::RtXen).system_software_total();
+    println!(
+        "RT-Xen adds {} KB (+{:.1}%) of system software over legacy — the paper reports 61 KB (+129.8%)\n",
+        rtxen - legacy,
+        (rtxen - legacy) as f64 / legacy as f64 * 100.0
+    );
+
+    c.bench_function("fig6/footprint_inventory", |b| {
+        b.iter(|| {
+            let rows = fig6();
+            black_box(rows.iter().map(|r| r.grand_total()).sum::<u64>())
+        })
+    });
+    c.bench_function("fig6/render", |b| b.iter(|| black_box(render_fig6().len())));
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

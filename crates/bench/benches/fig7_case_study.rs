@@ -1,0 +1,52 @@
+//! Fig. 7 — the automotive case study: success ratio and I/O throughput vs.
+//! target utilization for the 4-VM and 8-VM groups.
+//!
+//! Prints the regenerated Fig. 7 series (trial count from the
+//! `IOGUARD_TRIALS` environment variable, default 25; the paper runs 1000)
+//! and benchmarks single trials of each system.
+//!
+//! Run with: `cargo bench -p ioguard-bench --bench fig7_case_study`
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ioguard_core::casestudy::{run_trial, CaseStudyConfig, Fig7Report, SystemUnderTest};
+use ioguard_workload::generator::{TrialConfig, TrialWorkload};
+
+fn regenerate_figure() {
+    let trials: u64 = std::env::var("IOGUARD_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    let config = CaseStudyConfig::paper_shape(trials);
+    println!(
+        "\n=== Fig. 7 — automotive case study ({} trials/point; paper: 1000) ===",
+        trials
+    );
+    let report = Fig7Report::run(&config);
+    println!("{report}");
+}
+
+fn bench_trials(c: &mut Criterion) {
+    regenerate_figure();
+
+    // Benchmark the cost of one trial per system at 70% utilization.
+    let workload = TrialWorkload::generate(&TrialConfig::new(4, 0.70, 7));
+    let mut group = c.benchmark_group("fig7/one_trial_16000_slots");
+    group.sample_size(10);
+    for system in SystemUnderTest::figure7_lineup() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.label()),
+            &system,
+            |b, &system| b.iter(|| black_box(run_trial(system, &workload, 7, 16_000))),
+        );
+    }
+    group.finish();
+
+    // Workload generation itself.
+    c.bench_function("fig7/workload_generation", |b| {
+        b.iter(|| black_box(TrialWorkload::generate(&TrialConfig::new(8, 0.9, 3))))
+    });
+}
+
+criterion_group!(benches, bench_trials);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 8 — scalability: area, power and maximum frequency vs. η.
+//!
+//! Prints the regenerated Fig. 8 sweep and benchmarks the scaling model.
+//! Run with: `cargo bench -p ioguard-bench --bench fig8_scalability`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ioguard_hw::scale::{fig8_sweep, render_fig8};
+
+fn bench_fig8(c: &mut Criterion) {
+    println!("\n=== Fig. 8 — scalability with η (#VMs = 2^η) ===");
+    println!("{}", render_fig8(&fig8_sweep(5)));
+    let points = fig8_sweep(5);
+    for p in points.iter().filter(|p| p.eta >= 1) {
+        let margin = (p.ioguard_area - p.legacy_area) / p.legacy_area * 100.0;
+        assert!(margin < 20.0, "Obs. 5 margin bound violated at η={}", p.eta);
+        assert!(
+            p.ioguard_fmax.0 > p.legacy_fmax.0,
+            "Obs. 6 fmax ordering violated at η={}",
+            p.eta
+        );
+    }
+    println!("Obs. 5 (margin < 20%) and Obs. 6 (hypervisor fmax > legacy) hold at every η ≥ 1.\n");
+
+    c.bench_function("fig8/sweep_eta0_to_6", |b| {
+        b.iter(|| black_box(fig8_sweep(6)))
+    });
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table I — hardware overhead (FPGA resources).
+//!
+//! Prints the regenerated Table I and benchmarks the composition model.
+//! Run with: `cargo bench -p ioguard-bench --bench table1_hw_overhead`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ioguard_hw::blocks::HypervisorConfig;
+use ioguard_hw::reference::{render_table1, MICROBLAZE};
+
+fn bench_table1(c: &mut Criterion) {
+    println!("\n=== Table I — hardware overhead (implemented on FPGA) ===");
+    println!("{}", render_table1());
+    let proposed = HypervisorConfig::paper_table1().cost();
+    println!(
+        "Proposed / MicroBlaze: {:.1}% LUTs, {:.1}% registers, {:.1}% power \
+         (paper: 56.6% / 67.8% / 77.7%)\n",
+        100.0 * proposed.luts as f64 / MICROBLAZE.luts as f64,
+        100.0 * proposed.registers as f64 / MICROBLAZE.registers as f64,
+        100.0 * proposed.power_mw as f64 / MICROBLAZE.power_mw as f64,
+    );
+
+    c.bench_function("table1/compose_paper_config", |b| {
+        b.iter(|| black_box(HypervisorConfig::paper_table1().cost()))
+    });
+
+    let mut group = c.benchmark_group("table1/compose_scaling");
+    for vms in [4u64, 16, 64] {
+        group.bench_function(format!("{vms}vms"), |b| {
+            b.iter(|| black_box(HypervisorConfig::new(vms, 2).cost()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Benchmark host crate: all content lives in the `benches/` targets.

@@ -1,0 +1,49 @@
+//! Baseline I/O-virtualization systems and the common platform interface.
+//!
+//! The case study (Sec. V-C) compares I/O-GUARD against three baselines on
+//! the same workload. Each is an executable model exposing the common
+//! [`IoPlatform`] trait so the experiment engine drives all four
+//! identically:
+//!
+//! * [`legacy`] — **BS|Legacy**: no virtualization support; each processor
+//!   is a VM, resource management is left to the NoC routers. I/O requests
+//!   reach a *deadline-unaware FIFO* device after a contention-dependent
+//!   router delay.
+//! * [`rtxen`] — **BS|RT-XEN**: a software VMM (Xen + RT patches + I/O
+//!   enhancement). Every I/O traps into the VMM: per-operation software
+//!   overhead inflates service time and VMM scheduling adds release
+//!   latency; the device backend remains FIFO.
+//! * [`bluevisor`] — **BS|BV**: BlueVisor's hardware hypervisor. The fast
+//!   hardware path removes the software overhead, but the I/O stack keeps
+//!   the conventional *FIFO structure* — no preemption, no prioritization —
+//!   which is exactly the delta the paper attributes BV's losses to.
+//! * [`ioguard`] — the proposed system wrapped behind the same trait:
+//!   P-channel preloading plus the preemptive two-layer R-channel from the
+//!   `ioguard-hypervisor` crate.
+//!
+//! The FIFO device shared by all three baselines lives in [`platform`].
+//!
+//! # Example
+//!
+//! ```
+//! use ioguard_baselines::bluevisor::BlueVisorPlatform;
+//! use ioguard_baselines::platform::{IoPlatform, PlatformJob};
+//!
+//! let mut bv = BlueVisorPlatform::new(4, 7);
+//! bv.submit(PlatformJob::new(0, 1, 0, 2, 100, 64, true));
+//! for _ in 0..10 {
+//!     bv.step();
+//! }
+//! assert_eq!(bv.metrics().completed_on_time, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bluevisor;
+pub mod ioguard;
+pub mod legacy;
+pub mod platform;
+pub mod rtxen;
+
+pub use platform::{IoPlatform, PlatformJob, PlatformMetrics};

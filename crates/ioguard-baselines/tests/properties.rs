@@ -1,0 +1,166 @@
+//! Property-based tests for the baseline platform models.
+
+use proptest::prelude::*;
+
+use ioguard_baselines::bluevisor::BlueVisorPlatform;
+use ioguard_baselines::ioguard::IoGuardPlatform;
+use ioguard_baselines::legacy::LegacyPlatform;
+use ioguard_baselines::platform::{FifoDevice, IoPlatform, PlatformJob, PlatformMetrics};
+use ioguard_baselines::rtxen::RtXenPlatform;
+use ioguard_hypervisor::gsched::GschedPolicy;
+
+fn arb_jobs() -> impl Strategy<Value = Vec<(u64, u64, u64, bool)>> {
+    // (release gap, wcet, relative deadline headroom, critical)
+    prop::collection::vec((0u64..6, 1u64..8, 0u64..80, any::<bool>()), 1..40)
+}
+
+fn drive(platform: &mut dyn IoPlatform, jobs: &[(u64, u64, u64, bool)]) -> u64 {
+    let mut offered = 0u64;
+    let mut job_id = 0u64;
+    let mut queue = jobs.iter();
+    let mut next = queue.next();
+    let mut t_release = 0u64;
+    for _ in 0..4_000u64 {
+        while let Some(&(gap, wcet, headroom, critical)) = next {
+            if platform.now() < t_release + gap {
+                break;
+            }
+            t_release = platform.now();
+            job_id += 1;
+            offered += 1;
+            platform.submit(PlatformJob::new(
+                (job_id % 2) as usize,
+                job_id,
+                platform.now(),
+                wcet,
+                platform.now() + wcet + headroom,
+                64,
+                critical,
+            ));
+            next = queue.next();
+        }
+        platform.step();
+        if next.is_none() && platform.now() > 2_000 {
+            break;
+        }
+    }
+    offered
+}
+
+/// Conservation over every platform: offered = completed + dropped +
+/// still-buffered, and the metric counters are internally consistent.
+fn check_conservation(m: &PlatformMetrics, offered: u64) {
+    let accounted = m.completed_on_time + m.completed_late + m.dropped;
+    assert!(
+        accounted <= offered,
+        "accounted {accounted} > offered {offered}: {m:?}"
+    );
+    assert_eq!(m.missed, m.completed_late + m.dropped + (m.missed - m.completed_late - m.dropped));
+    assert!(m.critical_missed <= m.missed);
+    assert!(m.on_time_bytes <= m.response_bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FIFO device: service strictly in arrival order — completion order
+    /// equals enqueue order, regardless of deadlines.
+    #[test]
+    fn fifo_completion_order_is_arrival_order(wcets in prop::collection::vec(1u64..6, 1..20)) {
+        let mut dev = FifoDevice::new(64);
+        let mut m = PlatformMetrics::default();
+        for (i, &w) in wcets.iter().enumerate() {
+            // Adversarial deadlines: later arrivals get tighter deadlines.
+            let deadline = 10_000 - i as u64 * 100;
+            dev.enqueue(
+                PlatformJob::new(0, i as u64, 0, w, deadline, 64, true),
+                &mut m,
+            );
+        }
+        let mut completions: Vec<(u64, u64)> = Vec::new(); // (finish, id)
+        let mut prev = 0u64;
+        for t in 0..10_000u64 {
+            dev.step(t, &mut m);
+            let done = m.completed_on_time + m.completed_late;
+            if done > prev {
+                prev = done;
+                completions.push((t, done));
+            }
+            if done == wcets.len() as u64 {
+                break;
+            }
+        }
+        // k-th completion happens exactly after the first k service times.
+        let mut acc = 0u64;
+        for (k, &w) in wcets.iter().enumerate() {
+            acc += w;
+            prop_assert_eq!(completions[k].0 + 1, acc, "job {} completion time", k);
+        }
+    }
+
+    /// Metric conservation holds for all four platforms on arbitrary
+    /// streams.
+    #[test]
+    fn metrics_conserve_jobs(jobs in arb_jobs(), seed in any::<u64>()) {
+        let platforms: Vec<Box<dyn IoPlatform>> = vec![
+            Box::new(LegacyPlatform::new(4, seed)),
+            Box::new(RtXenPlatform::new(4, seed)),
+            Box::new(BlueVisorPlatform::new(4, seed)),
+            Box::new(
+                IoGuardPlatform::new(4, vec![], GschedPolicy::GlobalEdf)
+                    .expect("constructible"),
+            ),
+        ];
+        for mut p in platforms {
+            let offered = drive(p.as_mut(), &jobs);
+            check_conservation(p.metrics(), offered);
+        }
+    }
+
+    /// Dominance under laxity inversion: whenever the FIFO meets every
+    /// deadline, the preemptive pools do too (EDF never loses to FIFO on
+    /// the same single-resource stream with our slot model).
+    #[test]
+    fn edf_dominates_fifo_on_feasible_streams(jobs in arb_jobs(), seed in any::<u64>()) {
+        let mut fifo = BlueVisorPlatform::new(2, seed);
+        let offered_f = drive(&mut fifo, &jobs);
+        if fifo.metrics().missed != 0 {
+            return Ok(()); // FIFO already misses: nothing to dominate
+        }
+        let mut edf = IoGuardPlatform::new(2, vec![], GschedPolicy::GlobalEdf)
+            .expect("constructible");
+        let offered_e = drive(&mut edf, &jobs);
+        prop_assert_eq!(offered_f, offered_e, "identical offered stream");
+        // BlueVisor adds a small vms-scaled service interference that the
+        // direct hypervisor path does not; if FIFO met everything with
+        // that handicap, EDF without it must as well.
+        prop_assert_eq!(
+            edf.metrics().missed,
+            0,
+            "EDF missed where FIFO met: {:?}",
+            edf.metrics()
+        );
+    }
+
+    /// Determinism across all platforms.
+    #[test]
+    fn platforms_are_deterministic(jobs in arb_jobs(), seed in any::<u64>()) {
+        let run = |mk: &dyn Fn() -> Box<dyn IoPlatform>| {
+            let mut p = mk();
+            drive(p.as_mut(), &jobs);
+            (
+                p.metrics().completed_on_time,
+                p.metrics().missed,
+                p.metrics().response_bytes,
+            )
+        };
+        let mks: Vec<Box<dyn Fn() -> Box<dyn IoPlatform>>> = vec![
+            Box::new(move || Box::new(LegacyPlatform::new(3, seed))),
+            Box::new(move || Box::new(RtXenPlatform::new(3, seed))),
+            Box::new(move || Box::new(BlueVisorPlatform::new(3, seed))),
+        ];
+        for mk in &mks {
+            prop_assert_eq!(run(mk.as_ref()), run(mk.as_ref()));
+        }
+    }
+}

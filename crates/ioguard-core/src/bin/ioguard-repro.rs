@@ -1,0 +1,117 @@
+//! `ioguard-repro` — regenerate any of the paper's artifacts from the
+//! command line.
+//!
+//! ```text
+//! ioguard-repro fig3                      software i/o paths
+//! ioguard-repro fig6                      software overhead table
+//! ioguard-repro table1                    hardware overhead table
+//! ioguard-repro fig7 [--trials N]         the automotive case study
+//! ioguard-repro fig8 [--eta N]            scalability sweep
+//! ioguard-repro sched                     analysis experiments
+//! ioguard-repro predictability            latency profiles
+//! ioguard-repro all [--trials N]          everything above
+//! ```
+
+use std::process::ExitCode;
+
+use ioguard_core::casestudy::{CaseStudyConfig, Fig7Report};
+use ioguard_core::experiments::{
+    acceptance_ratio_sweep, fig6_report, fig8_report, table1_report, theorem_agreement,
+    SchedExperimentConfig,
+};
+use ioguard_core::predictability::{latency_profiles, PredictabilityConfig};
+
+fn flag(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_fig3() {
+    println!("== Fig. 3 — software i/o paths ==");
+    println!("{}", ioguard_rtos::path::render_fig3(256));
+}
+
+fn run_fig6() {
+    println!("== Fig. 6 — run-time software overhead (KB) ==");
+    println!("{}", fig6_report());
+}
+
+fn run_table1() {
+    println!("== Table I — hardware overhead ==");
+    println!("{}", table1_report());
+}
+
+fn run_fig7(trials: u64) {
+    println!("== Fig. 7 — automotive case study ({trials} trials/point) ==");
+    let report = Fig7Report::run(&CaseStudyConfig::paper_shape(trials));
+    println!("{report}");
+}
+
+fn run_fig8(eta: u64) {
+    println!("== Fig. 8 — scalability ==");
+    println!("{}", fig8_report(eta as u32));
+}
+
+fn run_sched() {
+    println!("== Sec. IV — schedulability analysis ==");
+    let config = SchedExperimentConfig::default();
+    let utils: Vec<f64> = (1..=9).map(|i| 0.1 * i as f64).collect();
+    println!("acceptance ratio vs utilization:");
+    for p in acceptance_ratio_sweep(&config, &utils) {
+        println!("  u = {:.1}: {:>5.1}%", p.utilization, p.accepted * 100.0);
+    }
+    let agreement = theorem_agreement(&config, 200);
+    println!(
+        "theorem agreement: {}/{} (n/a {})",
+        agreement.agreed, agreement.compared, agreement.not_applicable
+    );
+}
+
+fn run_predictability() {
+    println!("== predictability — probe latency profiles ==");
+    for p in latency_profiles(&PredictabilityConfig::default()) {
+        println!(
+            "{:<14} p50 {:>6.1}  p99 {:>6.1}  max {:>6.1}  missed {}",
+            p.system, p.p50, p.p99, p.max, p.missed
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let trials = flag(&args, "--trials", 25);
+    let eta = flag(&args, "--eta", 5);
+    match command {
+        "fig3" => run_fig3(),
+        "fig6" => run_fig6(),
+        "table1" => run_table1(),
+        "fig7" => run_fig7(trials),
+        "fig8" => run_fig8(eta),
+        "sched" => run_sched(),
+        "predictability" => run_predictability(),
+        "all" => {
+            run_fig3();
+            run_fig6();
+            run_table1();
+            run_fig8(eta);
+            run_sched();
+            run_predictability();
+            run_fig7(trials);
+        }
+        "help" | "--help" | "-h" => {
+            println!(
+                "usage: ioguard-repro <fig3|fig6|table1|fig7|fig8|sched|predictability|all> \
+                 [--trials N] [--eta N]"
+            );
+        }
+        other => {
+            eprintln!("unknown command {other:?}; try `ioguard-repro help`");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

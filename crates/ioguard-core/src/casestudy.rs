@@ -1,0 +1,623 @@
+//! The automotive case study (Sec. V-C, Fig. 7).
+//!
+//! One *trial* generates the 40-task automotive suite plus synthetic filler
+//! at a target utilization, gives every task a random initial phase, and
+//! drives one system with the resulting periodic job stream for a fixed
+//! horizon. A trial *succeeds* when no safety or function task misses a
+//! deadline; *throughput* is the rate of on-time response bytes. A *point*
+//! repeats trials over seeds; the full *figure* sweeps systems ×
+//! utilizations × VM-group sizes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ioguard_baselines::bluevisor::BlueVisorPlatform;
+use ioguard_baselines::ioguard::IoGuardPlatform;
+use ioguard_baselines::legacy::LegacyPlatform;
+use ioguard_baselines::platform::{IoPlatform, PlatformJob};
+use ioguard_baselines::rtxen::RtXenPlatform;
+use ioguard_hypervisor::gsched::GschedPolicy;
+use ioguard_hypervisor::pchannel::PredefinedTask;
+use ioguard_sim::rng::{SplitMix64, Xoshiro256StarStar};
+use ioguard_sim::stats::OnlineStats;
+use ioguard_workload::generator::{TrialConfig, TrialWorkload};
+use ioguard_workload::suites::SLOT_MICROS;
+
+/// Actual per-job execution time as a fraction of the task's measured WCET:
+/// hybrid-measurement WCETs are conservative, so jobs usually finish early.
+/// Sampled uniformly in `[ACTUAL_EXEC_MIN, 1.0]` per job, identically for
+/// every system under test.
+const ACTUAL_EXEC_MIN: f64 = 0.90;
+
+/// Which system a trial drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemUnderTest {
+    /// BS|Legacy.
+    Legacy,
+    /// BS|RT-XEN.
+    RtXen,
+    /// BS|BV.
+    BlueVisor,
+    /// I/O-GUARD-x: `preload_pct`% of tasks pre-loaded into the P-channel.
+    IoGuard {
+        /// Percentage of tasks executed by the P-channel (the paper uses
+        /// 40 and 70).
+        preload_pct: u8,
+    },
+    /// Ablation: I/O-GUARD with the server-based G-Sched instead of global
+    /// EDF (hard inter-VM isolation; slightly lower raw schedulability).
+    IoGuardServerIsolated {
+        /// P-channel preload percentage.
+        preload_pct: u8,
+    },
+}
+
+impl SystemUnderTest {
+    /// The five systems of Fig. 7, in plot order.
+    pub fn figure7_lineup() -> Vec<SystemUnderTest> {
+        vec![
+            SystemUnderTest::Legacy,
+            SystemUnderTest::RtXen,
+            SystemUnderTest::BlueVisor,
+            SystemUnderTest::IoGuard { preload_pct: 40 },
+            SystemUnderTest::IoGuard { preload_pct: 70 },
+        ]
+    }
+
+    /// Display label matching the paper.
+    pub fn label(&self) -> String {
+        match self {
+            SystemUnderTest::Legacy => "BS|Legacy".into(),
+            SystemUnderTest::RtXen => "BS|RT-XEN".into(),
+            SystemUnderTest::BlueVisor => "BS|BV".into(),
+            SystemUnderTest::IoGuard { preload_pct } => format!("I/O-GUARD-{preload_pct}"),
+            SystemUnderTest::IoGuardServerIsolated { preload_pct } => {
+                format!("I/O-GUARD-{preload_pct}-srv")
+            }
+        }
+    }
+}
+
+/// Outcome of one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// True when no critical task missed a deadline.
+    pub success: bool,
+    /// On-time response throughput in Mbit/s.
+    pub throughput_mbps: f64,
+    /// Critical misses observed.
+    pub critical_misses: u64,
+    /// All misses observed.
+    pub misses: u64,
+}
+
+/// Runs one trial of `system` on `workload` for `horizon_slots`.
+///
+/// Release phases are deterministic in `phase_seed`, and the same job
+/// stream (ids, phases, payloads) is offered to every system — the paper's
+/// "identical data input" guarantee.
+pub fn run_trial(
+    system: SystemUnderTest,
+    workload: &TrialWorkload,
+    phase_seed: u64,
+    horizon_slots: u64,
+) -> TrialOutcome {
+    let vms = workload.config().vms;
+    // Deterministic per-task initial phases in [0, T).
+    let mut phase_rng = Xoshiro256StarStar::new(SplitMix64::new(phase_seed).derive(0xFA5E));
+    let phases: Vec<u64> = workload
+        .tasks()
+        .iter()
+        .map(|t| phase_rng.range_u64(0, t.task.period()))
+        .collect();
+
+    // Which tasks run from the P-channel (I/O-GUARD only)?
+    let (preload_names, policy) = match system {
+        SystemUnderTest::IoGuard { preload_pct } => {
+            let (pre, _) = workload.split_preload(preload_pct as f64 / 100.0);
+            (
+                pre.iter().map(|t| t.name.clone()).collect::<Vec<_>>(),
+                GschedPolicy::GlobalEdf,
+            )
+        }
+        SystemUnderTest::IoGuardServerIsolated { preload_pct } => {
+            let (pre, _) = workload.split_preload(preload_pct as f64 / 100.0);
+            // Equal-share servers over the expected free fraction: period
+            // 100 slots (the fastest task period), budget split evenly with
+            // a small safety margin.
+            let free = (1.0 - pre.iter().map(|t| t.task.utilization()).sum::<f64>()).max(0.05);
+            let budget = ((free * 100.0 / vms as f64).floor() as u64).max(1);
+            let servers = (0..vms)
+                .map(|_| {
+                    ioguard_sched::task::PeriodicServer::new(100, budget.min(100))
+                        .expect("1 ≤ budget ≤ 100")
+                })
+                .collect();
+            (
+                pre.iter().map(|t| t.name.clone()).collect::<Vec<_>>(),
+                GschedPolicy::ServerBased(servers),
+            )
+        }
+        _ => (Vec::new(), GschedPolicy::GlobalEdf),
+    };
+
+    let mut platform: Box<dyn IoPlatform> = match system {
+        SystemUnderTest::Legacy => Box::new(LegacyPlatform::new(vms, phase_seed)),
+        SystemUnderTest::RtXen => Box::new(RtXenPlatform::new(vms, phase_seed)),
+        SystemUnderTest::BlueVisor => Box::new(BlueVisorPlatform::new(vms, phase_seed)),
+        SystemUnderTest::IoGuard { .. } | SystemUnderTest::IoGuardServerIsolated { .. } => {
+            match build_ioguard(workload, &preload_names, policy, phase_seed) {
+                Ok(p) => Box::new(p),
+                Err(_) => {
+                    // The P-channel cannot host this pre-load (overloaded
+                    // sampled WCETs): the trial fails outright.
+                    return TrialOutcome {
+                        success: false,
+                        throughput_mbps: 0.0,
+                        critical_misses: u64::MAX,
+                        misses: u64::MAX,
+                    };
+                }
+            }
+        }
+    };
+
+    // Drive the periodic job stream. Pre-loaded tasks execute autonomously
+    // inside the P-channel.
+    let preloaded: Vec<bool> = workload
+        .tasks()
+        .iter()
+        .map(|t| preload_names.iter().any(|n| *n == t.name))
+        .collect();
+    let mut next_job_id = 1u64;
+    for slot in 0..horizon_slots {
+        for (idx, task) in workload.tasks().iter().enumerate() {
+            if preloaded[idx] {
+                continue;
+            }
+            let period = task.task.period();
+            if slot >= phases[idx] && (slot - phases[idx]) % period == 0 {
+                // Per-job actual execution time (deterministic in the ids).
+                let frac = ACTUAL_EXEC_MIN
+                    + (1.0 - ACTUAL_EXEC_MIN)
+                        * (ioguard_baselines::platform::job_jitter(
+                            phase_seed ^ 0xEC,
+                            next_job_id,
+                            slot,
+                            1024,
+                        ) as f64
+                            / 1024.0);
+                let actual = ((task.task.wcet() as f64 * frac).round() as u64).max(1);
+                platform.submit(PlatformJob::new(
+                    task.vm,
+                    next_job_id,
+                    slot,
+                    actual,
+                    slot + task.task.deadline(),
+                    task.response_bytes,
+                    task.is_critical(),
+                ));
+                next_job_id += 1;
+            }
+        }
+        platform.step();
+    }
+
+    let m = platform.metrics();
+    let sim_seconds = horizon_slots as f64 * SLOT_MICROS as f64 / 1e6;
+    TrialOutcome {
+        success: m.trial_success(),
+        throughput_mbps: m.on_time_bytes as f64 * 8.0 / sim_seconds / 1e6,
+        critical_misses: m.critical_missed,
+        misses: m.missed,
+    }
+}
+
+/// Builds the I/O-GUARD platform for a workload, pre-loading the named
+/// tasks. An infeasible pre-load (the sampled WCETs overflow the table) is
+/// a construction error — the caller records the trial as failed, exactly
+/// as the real system would refuse the configuration at initialization.
+fn build_ioguard(
+    workload: &TrialWorkload,
+    preload_names: &[String],
+    policy: GschedPolicy,
+    phase_seed: u64,
+) -> Result<IoGuardPlatform, ioguard_hypervisor::HvError> {
+    let vms = workload.config().vms;
+    let predefined: Vec<PredefinedTask> = workload
+        .tasks()
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| preload_names.iter().any(|n| *n == t.name))
+        .map(|(idx, t)| PredefinedTask {
+            task_id: idx as u64 + 1,
+            vm: t.vm,
+            task: t.task,
+            response_bytes: t.response_bytes,
+            // Stagger start times across the period so table occupancy is
+            // flat and free slots stay evenly available to the R-channel.
+            start_offset: (idx as u64).wrapping_mul(0x9E37_79B9) % t.task.period(),
+        })
+        .collect();
+    // Pre-defined jobs show the same conservative-WCET behaviour as
+    // run-time jobs; early completions release their residual slots.
+    IoGuardPlatform::with_reclaim(
+        vms,
+        predefined,
+        policy,
+        ioguard_hypervisor::hypervisor::PchannelReclaim {
+            seed: phase_seed ^ 0xEC2,
+            min_fraction: ACTUAL_EXEC_MIN,
+        },
+    )
+}
+
+/// One experiment point: a (system, VM count, utilization) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaseStudyPoint {
+    /// System to drive.
+    pub system: SystemUnderTest,
+    /// Number of active VMs (4 or 8 in the paper).
+    pub vms: usize,
+    /// Target utilization.
+    pub target_utilization: f64,
+    /// Number of trials (the paper runs 1000; examples default lower).
+    pub trials: u64,
+    /// Base seed; trial `i` uses a derived stream.
+    pub seed: u64,
+    /// Trial length in slots (16 000 slots = one suite hyper-period
+    /// = 0.8 s simulated).
+    pub horizon_slots: u64,
+}
+
+/// Aggregated result of one point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointSummary {
+    /// Fraction of trials with zero critical misses.
+    pub success_ratio: f64,
+    /// Mean on-time throughput over trials, Mbit/s.
+    pub throughput_mbps: f64,
+    /// Standard deviation of the throughput across trials.
+    pub throughput_std: f64,
+}
+
+impl CaseStudyPoint {
+    /// Runs all trials of this point sequentially (deterministic).
+    pub fn run(&self) -> PointSummary {
+        let root = SplitMix64::new(self.seed);
+        let mut successes = 0u64;
+        let mut tp = OnlineStats::new();
+        for trial in 0..self.trials {
+            let trial_seed = root.derive(trial + 1);
+            let workload = TrialWorkload::generate(&TrialConfig::new(
+                self.vms,
+                self.target_utilization,
+                trial_seed,
+            ));
+            let outcome = run_trial(self.system, &workload, trial_seed, self.horizon_slots);
+            if outcome.success {
+                successes += 1;
+            }
+            tp.push(outcome.throughput_mbps);
+        }
+        PointSummary {
+            success_ratio: successes as f64 / self.trials.max(1) as f64,
+            throughput_mbps: tp.mean(),
+            throughput_std: tp.std_dev(),
+        }
+    }
+}
+
+/// Full Fig. 7 sweep configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseStudyConfig {
+    /// VM group sizes (the paper: 4 and 8).
+    pub vm_groups: Vec<usize>,
+    /// Target utilizations (the paper: 0.40..=1.00 step 0.05).
+    pub utilizations: Vec<f64>,
+    /// Trials per point.
+    pub trials: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Trial horizon in slots.
+    pub horizon_slots: u64,
+    /// Systems to include.
+    pub systems: Vec<SystemUnderTest>,
+}
+
+impl CaseStudyConfig {
+    /// The paper's sweep with a reduced trial count (the full 1000-trial
+    /// sweep is run by the bench harness).
+    pub fn paper_shape(trials: u64) -> Self {
+        Self {
+            vm_groups: vec![4, 8],
+            utilizations: (0..=12).map(|i| 0.40 + 0.05 * i as f64).collect(),
+            trials,
+            seed: 2021,
+            horizon_slots: 16_000,
+            systems: SystemUnderTest::figure7_lineup(),
+        }
+    }
+}
+
+/// One rendered cell of the Fig. 7 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Cell {
+    /// System.
+    pub system: SystemUnderTest,
+    /// VM group size.
+    pub vms: usize,
+    /// Target utilization.
+    pub target_utilization: f64,
+    /// Aggregates.
+    pub summary: PointSummary,
+}
+
+/// The full Fig. 7 data set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Report {
+    /// All cells, ordered (vm group, system, utilization).
+    pub cells: Vec<Fig7Cell>,
+}
+
+impl Fig7Report {
+    /// Runs the whole sweep. Points are independent; they are distributed
+    /// over a crossbeam scope so the 1000-trial bench saturates all cores.
+    pub fn run(config: &CaseStudyConfig) -> Self {
+        let points: Vec<(SystemUnderTest, usize, f64)> = config
+            .vm_groups
+            .iter()
+            .flat_map(|&vms| {
+                config.systems.iter().flat_map(move |&system| {
+                    config
+                        .utilizations
+                        .iter()
+                        .map(move |&u| (system, vms, u))
+                })
+            })
+            .collect();
+        let results: Vec<(usize, Fig7Cell)> = {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(points.len().max(1));
+            let chunk = points.len().div_ceil(threads);
+            let mut out = Vec::with_capacity(points.len());
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = points
+                    .chunks(chunk.max(1))
+                    .enumerate()
+                    .map(|(ci, chunk_points)| {
+                        let config = &config;
+                        scope.spawn(move |_| {
+                            chunk_points
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &(system, vms, u))| {
+                                    let point = CaseStudyPoint {
+                                        system,
+                                        vms,
+                                        target_utilization: u,
+                                        trials: config.trials,
+                                        seed: config.seed,
+                                        horizon_slots: config.horizon_slots,
+                                    };
+                                    (
+                                        ci * chunk.max(1) + i,
+                                        Fig7Cell {
+                                            system,
+                                            vms,
+                                            target_utilization: u,
+                                            summary: point.run(),
+                                        },
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    out.extend(h.join().expect("case-study worker panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            out
+        };
+        let mut results = results;
+        results.sort_by_key(|(i, _)| *i);
+        Self {
+            cells: results.into_iter().map(|(_, c)| c).collect(),
+        }
+    }
+
+    /// Cells of one (vms, system) series in utilization order.
+    pub fn series(&self, vms: usize, system: SystemUnderTest) -> Vec<&Fig7Cell> {
+        self.cells
+            .iter()
+            .filter(|c| c.vms == vms && c.system == system)
+            .collect()
+    }
+
+    /// Exports the report as CSV (one row per cell), ready for plotting:
+    /// `system,vms,target_utilization,success_ratio,throughput_mbps,throughput_std`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "system,vms,target_utilization,success_ratio,throughput_mbps,throughput_std
+",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{},{},{:.2},{:.4},{:.4},{:.4}
+",
+                c.system.label(),
+                c.vms,
+                c.target_utilization,
+                c.summary.success_ratio,
+                c.summary.throughput_mbps,
+                c.summary.throughput_std,
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig7Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut vm_groups: Vec<usize> = self.cells.iter().map(|c| c.vms).collect();
+        vm_groups.sort_unstable();
+        vm_groups.dedup();
+        let mut systems: Vec<SystemUnderTest> = Vec::new();
+        for c in &self.cells {
+            if !systems.contains(&c.system) {
+                systems.push(c.system);
+            }
+        }
+        for vms in vm_groups {
+            writeln!(f, "== {vms}-VM group: success ratio (top), throughput Mbit/s (bottom) ==")?;
+            let utils: Vec<f64> = {
+                let mut u: Vec<f64> = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.vms == vms)
+                    .map(|c| c.target_utilization)
+                    .collect();
+                u.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                u.dedup();
+                u
+            };
+            write!(f, "{:<16}", "util →")?;
+            for u in &utils {
+                write!(f, " {:>6.0}%", u * 100.0)?;
+            }
+            writeln!(f)?;
+            for &system in &systems {
+                let series = self.series(vms, system);
+                write!(f, "{:<16}", system.label())?;
+                for cell in &series {
+                    write!(f, " {:>6.2} ", cell.summary.success_ratio)?;
+                }
+                writeln!(f)?;
+                write!(f, "{:<16}", "")?;
+                for cell in &series {
+                    write!(f, " {:>6.1} ", cell.summary.throughput_mbps)?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_point(system: SystemUnderTest, util: f64) -> PointSummary {
+        CaseStudyPoint {
+            system,
+            vms: 4,
+            target_utilization: util,
+            trials: 4,
+            seed: 7,
+            horizon_slots: 8_000,
+        }
+        .run()
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(SystemUnderTest::Legacy.label(), "BS|Legacy");
+        assert_eq!(
+            SystemUnderTest::IoGuard { preload_pct: 70 }.label(),
+            "I/O-GUARD-70"
+        );
+        assert_eq!(SystemUnderTest::figure7_lineup().len(), 5);
+    }
+
+    #[test]
+    fn all_systems_succeed_at_base_utilization() {
+        // At the 40% base load every system should be comfortable.
+        for system in SystemUnderTest::figure7_lineup() {
+            let s = quick_point(system, 0.40);
+            assert!(
+                s.success_ratio >= 0.75,
+                "{} at 40%: {:?}",
+                system.label(),
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn ioguard70_survives_high_utilization_better_than_fifo_baselines() {
+        let iog = quick_point(SystemUnderTest::IoGuard { preload_pct: 70 }, 0.90);
+        let bv = quick_point(SystemUnderTest::BlueVisor, 0.90);
+        let xen = quick_point(SystemUnderTest::RtXen, 0.90);
+        assert!(
+            iog.success_ratio >= bv.success_ratio,
+            "iog {iog:?} vs bv {bv:?}"
+        );
+        assert!(
+            iog.success_ratio >= xen.success_ratio,
+            "iog {iog:?} vs xen {xen:?}"
+        );
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let a = quick_point(SystemUnderTest::BlueVisor, 0.7);
+        let b = quick_point(SystemUnderTest::BlueVisor, 0.7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_input_offered_to_all_systems() {
+        // The same workload + phase seed yields the same job stream; verify
+        // via equal *offered* load accounting: run two FIFO-family systems
+        // and compare total jobs seen (completed + missed + queued tail).
+        let workload =
+            TrialWorkload::generate(&TrialConfig::new(4, 0.5, 99));
+        let a = run_trial(SystemUnderTest::BlueVisor, &workload, 99, 4000);
+        let b = run_trial(SystemUnderTest::BlueVisor, &workload, 99, 4000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_renders_and_indexes() {
+        let config = CaseStudyConfig {
+            vm_groups: vec![2],
+            utilizations: vec![0.4, 0.6],
+            trials: 2,
+            seed: 3,
+            horizon_slots: 4000,
+            systems: vec![
+                SystemUnderTest::BlueVisor,
+                SystemUnderTest::IoGuard { preload_pct: 40 },
+            ],
+        };
+        let report = Fig7Report::run(&config);
+        assert_eq!(report.cells.len(), 4);
+        let series = report.series(2, SystemUnderTest::BlueVisor);
+        assert_eq!(series.len(), 2);
+        assert!(series[0].target_utilization < series[1].target_utilization);
+        let text = format!("{report}");
+        assert!(text.contains("BS|BV"));
+        assert!(text.contains("I/O-GUARD-40"));
+        assert!(text.contains("2-VM group"));
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 1 + report.cells.len());
+        assert!(csv.starts_with("system,vms"));
+        assert!(csv.contains("BS|BV,2,0.40,"));
+    }
+
+    #[test]
+    fn throughput_grows_with_utilization_when_meeting_deadlines() {
+        let low = quick_point(SystemUnderTest::IoGuard { preload_pct: 70 }, 0.40);
+        let high = quick_point(SystemUnderTest::IoGuard { preload_pct: 70 }, 0.70);
+        assert!(
+            high.throughput_mbps > low.throughput_mbps,
+            "low {low:?} high {high:?}"
+        );
+    }
+}

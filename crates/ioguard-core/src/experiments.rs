@@ -1,0 +1,220 @@
+//! Drivers and renderers for the non-case-study experiments.
+//!
+//! * **Fig. 6** — software overhead: delegates to
+//!   [`ioguard_hw::footprint`].
+//! * **Table I** — hardware overhead: delegates to
+//!   [`ioguard_hw::reference`].
+//! * **Fig. 8** — scalability: delegates to [`ioguard_hw::scale`].
+//! * **Schedulability** — acceptance-ratio sweeps comparing the exact and
+//!   pseudo-polynomial tests of Sec. IV, plus their runtime cost.
+
+use serde::{Deserialize, Serialize};
+
+use ioguard_sched::design::{synthesize_servers, SynthesisConfig};
+use ioguard_sched::gsched::{theorem1_exact, theorem2_pseudo_poly};
+use ioguard_sched::lsched::{theorem3_exact, theorem4_pseudo_poly};
+use ioguard_sched::table::TimeSlotTable;
+use ioguard_sched::task::{PeriodicServer, SporadicTask, TaskSet};
+use ioguard_sim::rng::Xoshiro256StarStar;
+use ioguard_workload::uunifast::uunifast;
+
+/// Renders the Fig. 6 software-overhead table.
+pub fn fig6_report() -> String {
+    ioguard_hw::footprint::render_fig6()
+}
+
+/// Renders Table I.
+pub fn table1_report() -> String {
+    ioguard_hw::reference::render_table1()
+}
+
+/// Renders the Fig. 8 scalability sweep for η in `0..=eta_max`.
+pub fn fig8_report(eta_max: u32) -> String {
+    ioguard_hw::scale::render_fig8(&ioguard_hw::scale::fig8_sweep(eta_max))
+}
+
+/// Configuration of the schedulability acceptance-ratio experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedExperimentConfig {
+    /// Number of random systems per utilization point.
+    pub systems_per_point: u32,
+    /// Number of VMs per system.
+    pub vms: usize,
+    /// Tasks per VM.
+    pub tasks_per_vm: usize,
+    /// Table length H.
+    pub table_len: u64,
+    /// Occupied (P-channel) fraction of the table.
+    pub occupied_fraction: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SchedExperimentConfig {
+    fn default() -> Self {
+        Self {
+            systems_per_point: 50,
+            vms: 4,
+            tasks_per_vm: 3,
+            table_len: 24,
+            occupied_fraction: 0.25,
+            seed: 99,
+        }
+    }
+}
+
+/// One point of the acceptance-ratio curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceptancePoint {
+    /// Total R-channel utilization of the generated systems.
+    pub utilization: f64,
+    /// Fraction of systems accepted by the two-layer analysis (with
+    /// synthesized servers).
+    pub accepted: f64,
+}
+
+/// Sweeps R-channel utilization and measures which fraction of random
+/// systems the two-layer analysis (Theorems 1 + 3, with synthesized
+/// servers) admits. This is the analysis-side counterpart of Fig. 7: the
+/// schedulable region shrinks as utilization grows.
+pub fn acceptance_ratio_sweep(
+    config: &SchedExperimentConfig,
+    utilizations: &[f64],
+) -> Vec<AcceptancePoint> {
+    let mut rng = Xoshiro256StarStar::new(config.seed);
+    let occupied: Vec<u64> = (0..((config.table_len as f64 * config.occupied_fraction) as u64))
+        .collect();
+    let sigma = TimeSlotTable::from_occupied(config.table_len, &occupied)
+        .expect("table parameters are valid");
+    utilizations
+        .iter()
+        .map(|&util| {
+            let mut accepted = 0u32;
+            for _ in 0..config.systems_per_point {
+                let task_sets = random_task_sets(&mut rng, config, util);
+                if let Ok(servers) =
+                    synthesize_servers(&sigma, &task_sets, &SynthesisConfig::divisors_of(config.table_len))
+                {
+                    // Synthesis already validates both layers.
+                    debug_assert_eq!(servers.len(), task_sets.len());
+                    accepted += 1;
+                }
+            }
+            AcceptancePoint {
+                utilization: util,
+                accepted: accepted as f64 / config.systems_per_point as f64,
+            }
+        })
+        .collect()
+}
+
+fn random_task_sets(
+    rng: &mut Xoshiro256StarStar,
+    config: &SchedExperimentConfig,
+    total_util: f64,
+) -> Vec<TaskSet> {
+    let n = config.vms * config.tasks_per_vm;
+    let utils = uunifast(rng, n, total_util);
+    let mut sets = vec![TaskSet::new(); config.vms];
+    for (i, u) in utils.into_iter().enumerate() {
+        // Periods divide the table length so the exact tests stay cheap.
+        let period = config.table_len * rng.range_u64(1, 9);
+        let wcet = ((u * period as f64).round() as u64).clamp(1, period);
+        let task = SporadicTask::implicit(period, wcet).expect("clamped");
+        sets[i % config.vms].push(task);
+    }
+    sets
+}
+
+/// Result of the exact-vs-pseudo-polynomial agreement experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AgreementReport {
+    /// Systems where both tests were applicable.
+    pub compared: u32,
+    /// Systems where verdicts agreed.
+    pub agreed: u32,
+    /// Systems where the pseudo-poly precondition (slack) failed.
+    pub not_applicable: u32,
+}
+
+/// Compares Theorem 1 vs 2 and Theorem 3 vs 4 on random systems; the paper
+/// proves they agree whenever the slack precondition holds.
+pub fn theorem_agreement(config: &SchedExperimentConfig, samples: u32) -> AgreementReport {
+    let mut rng = Xoshiro256StarStar::new(config.seed ^ 0xA9);
+    let mut report = AgreementReport::default();
+    for _ in 0..samples {
+        let h = 4 + rng.range_u64(0, 12);
+        let occ: Vec<u64> = (0..h / 4).collect();
+        let sigma = TimeSlotTable::from_occupied(h, &occ).expect("valid");
+        let servers: Vec<PeriodicServer> = (0..2)
+            .map(|_| {
+                let pi = 2 + rng.range_u64(0, 10);
+                PeriodicServer::new(pi, 1 + rng.range_u64(0, pi)).expect("valid")
+            })
+            .collect();
+        let exact = theorem1_exact(&sigma, &servers, 1 << 24).expect("bounded");
+        match theorem2_pseudo_poly(&sigma, &servers, 0.01) {
+            Ok(pseudo) => {
+                report.compared += 1;
+                if pseudo.is_schedulable() == exact.is_schedulable() {
+                    report.agreed += 1;
+                }
+            }
+            Err(_) => report.not_applicable += 1,
+        }
+        // L-Sched side.
+        let server = servers[0];
+        let mut ts = TaskSet::new();
+        for _ in 0..config.tasks_per_vm {
+            let t = 5 + rng.range_u64(0, 40);
+            let c = 1 + rng.range_u64(0, 4.min(t));
+            let d = c + rng.range_u64(0, t - c + 1);
+            ts.push(SporadicTask::new(t, c, d).expect("valid by construction"));
+        }
+        let exact = theorem3_exact(&server, &ts, 1 << 26).expect("bounded");
+        match theorem4_pseudo_poly(&server, &ts, 0.01) {
+            Ok(pseudo) => {
+                report.compared += 1;
+                if pseudo.is_schedulable() == exact.is_schedulable() {
+                    report.agreed += 1;
+                }
+            }
+            Err(_) => report.not_applicable += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_table1_fig8_render() {
+        assert!(fig6_report().contains("I/O-GUARD"));
+        assert!(table1_report().contains("Proposed"));
+        let fig8 = fig8_report(4);
+        assert!(fig8.lines().count() >= 5);
+    }
+
+    #[test]
+    fn acceptance_ratio_decreases_with_utilization() {
+        let config = SchedExperimentConfig {
+            systems_per_point: 30,
+            ..SchedExperimentConfig::default()
+        };
+        let points = acceptance_ratio_sweep(&config, &[0.2, 0.5, 0.9]);
+        assert_eq!(points.len(), 3);
+        assert!(points[0].accepted >= points[2].accepted);
+        assert!(points[0].accepted > 0.8, "light systems admitted: {points:?}");
+        // Beyond the free capacity (0.75 here) nothing fits.
+        assert!(points[2].accepted < 0.5, "heavy systems rejected: {points:?}");
+    }
+
+    #[test]
+    fn theorems_agree_on_every_applicable_sample() {
+        let report = theorem_agreement(&SchedExperimentConfig::default(), 150);
+        assert!(report.compared > 50);
+        assert_eq!(report.agreed, report.compared, "{report:?}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Analytic hardware and software overhead models.
+//!
+//! The paper's Table I, Fig. 6 and Fig. 8 are synthesis and link-map
+//! measurements from a Xilinx VC709 flow we cannot run here. This crate
+//! substitutes an *analytic composition model*: every hypervisor block is
+//! priced in FPGA primitives (LUTs, registers, DSP slices, BRAM, and a
+//! calibrated power/fmax model), and the full hypervisor cost is the sum of
+//! its parts — the same law a synthesis report follows at the granularity
+//! the paper reports.
+//!
+//! * [`primitives`] — the resource vector type and per-primitive costs.
+//! * [`blocks`] — composition of the I/O-GUARD hypervisor (I/O pools,
+//!   schedulers, channels, translators, controllers) into a total cost;
+//!   calibrated so the paper's 16-VM / 2-I/O configuration reproduces the
+//!   "Proposed" row of Table I.
+//! * [`reference`](mod@reference) — the published Table I comparator rows (MicroBlaze,
+//!   RISC-V, SPI, Ethernet, BlueIO) as constants.
+//! * [`fmax`] — critical-path frequency model for the hypervisor and the
+//!   legacy routers (Fig. 8(c)).
+//! * [`scale`] — area/power/fmax scaling with the VM count factor η
+//!   (Fig. 8(a,b)).
+//! * [`footprint`] — run-time software memory footprint (BSS/data/text) per
+//!   system component (Fig. 6).
+//!
+//! # Example
+//!
+//! ```
+//! use ioguard_hw::blocks::HypervisorConfig;
+//!
+//! // The paper's evaluation configuration: 16 VMs, 2 I/O devices.
+//! let cost = HypervisorConfig::paper_table1().cost();
+//! assert_eq!(cost.dsp, 0);
+//! assert_eq!(cost.bram_kb, 256);
+//! // LUTs and registers land on the published "Proposed" row (±2%).
+//! assert!((cost.luts as f64 - 2777.0).abs() / 2777.0 < 0.02);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod fmax;
+pub mod footprint;
+pub mod primitives;
+pub mod reference;
+pub mod scale;
+
+pub use blocks::HypervisorConfig;
+pub use primitives::ResourceCost;

@@ -1,0 +1,94 @@
+//! Property-based tests for the hardware models.
+
+use proptest::prelude::*;
+
+use ioguard_hw::blocks::HypervisorConfig;
+use ioguard_hw::fmax::{hypervisor_fmax, legacy_fmax};
+use ioguard_hw::primitives::{power_model, ResourceCost};
+use ioguard_hw::scale::{fig8_sweep, ioguard_platform_cost, legacy_platform_cost};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Resource vectors form a commutative monoid under addition.
+    #[test]
+    fn resource_addition_monoid(
+        a in (0u64..10_000, 0u64..10_000, 0u64..32, 0u64..512),
+        b in (0u64..10_000, 0u64..10_000, 0u64..32, 0u64..512),
+    ) {
+        let mk = |(l, r, d, m): (u64, u64, u64, u64)| ResourceCost {
+            luts: l,
+            registers: r,
+            dsp: d,
+            bram_kb: m,
+            power_mw: 0,
+        };
+        let (x, y) = (mk(a), mk(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x + ResourceCost::ZERO, x);
+        prop_assert_eq!((x + y) * 2, x * 2 + y * 2);
+    }
+
+    /// The power model is monotone in every resource dimension.
+    #[test]
+    fn power_monotone(
+        l in 0u64..10_000,
+        r in 0u64..10_000,
+        d in 0u64..32,
+        m in 0u64..512,
+    ) {
+        let base = ResourceCost { luts: l, registers: r, dsp: d, bram_kb: m, power_mw: 0 };
+        let p0 = power_model(&base);
+        for bumped in [
+            ResourceCost { luts: l + 1000, ..base },
+            ResourceCost { registers: r + 1000, ..base },
+            ResourceCost { dsp: d + 4, ..base },
+            ResourceCost { bram_kb: m + 64, ..base },
+        ] {
+            prop_assert!(power_model(&bumped) > p0);
+        }
+    }
+
+    /// Hypervisor cost is monotone in VMs, I/Os and pool depth, and linear
+    /// in the I/O count.
+    #[test]
+    fn hypervisor_cost_monotone(vms in 1u64..64, ios in 1u64..6, depth in 1u64..32) {
+        let base = HypervisorConfig { vms, ios, pool_depth: depth };
+        let cost = base.cost();
+        let more_vms = HypervisorConfig { vms: vms + 1, ..base }.cost();
+        prop_assert!(more_vms.luts > cost.luts);
+        let more_ios = HypervisorConfig { ios: ios + 1, ..base }.cost();
+        prop_assert!(more_ios.luts > cost.luts);
+        prop_assert_eq!(more_ios.luts, cost.luts / ios * (ios + 1));
+        let deeper = HypervisorConfig { pool_depth: depth + 1, ..base }.cost();
+        prop_assert!(deeper.registers > cost.registers);
+        prop_assert_eq!(cost.dsp, 0);
+    }
+
+    /// Platform scaling invariants for all η: monotone growth, hypervisor
+    /// fmax above legacy, bounded margin for η ≥ 1.
+    #[test]
+    fn scaling_invariants(eta in 0u32..7) {
+        let legacy = legacy_platform_cost(eta);
+        let ioguard = ioguard_platform_cost(eta);
+        prop_assert!(ioguard.luts > legacy.luts);
+        prop_assert!(ioguard.power_mw > legacy.power_mw);
+        prop_assert!(hypervisor_fmax(eta).0 > legacy_fmax(eta).0);
+        if eta >= 1 {
+            let margin = (ioguard.luts - legacy.luts) as f64 / legacy.luts as f64;
+            prop_assert!(margin < 0.20, "margin {} at eta {}", margin, eta);
+        }
+    }
+
+    /// The sweep is internally consistent with the point functions.
+    #[test]
+    fn sweep_matches_points(eta_max in 1u32..6) {
+        let points = fig8_sweep(eta_max);
+        prop_assert_eq!(points.len() as u32, eta_max + 1);
+        for (i, p) in points.iter().enumerate() {
+            prop_assert_eq!(p.eta, i as u32);
+            prop_assert_eq!(p.legacy_power_mw, legacy_platform_cost(p.eta).power_mw);
+            prop_assert_eq!(p.ioguard_power_mw, ioguard_platform_cost(p.eta).power_mw);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the hypervisor model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by hypervisor configuration and job submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HvError {
+    /// Configuration parameter out of range.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A job named a VM the hypervisor was not configured with.
+    UnknownVm {
+        /// The offending VM index.
+        vm: usize,
+        /// Number of configured VMs.
+        vms: usize,
+    },
+    /// The target VM's I/O pool is full (hardware queues are bounded).
+    PoolFull {
+        /// The VM whose pool rejected the job.
+        vm: usize,
+        /// The pool's capacity.
+        capacity: usize,
+    },
+    /// A pre-defined task table could not be constructed.
+    TableConstruction {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            HvError::UnknownVm { vm, vms } => {
+                write!(f, "vm {vm} out of range (hypervisor has {vms} pools)")
+            }
+            HvError::PoolFull { vm, capacity } => {
+                write!(f, "i/o pool of vm {vm} is full (capacity {capacity})")
+            }
+            HvError::TableConstruction { reason } => {
+                write!(f, "cannot build time slot table: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for HvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_trait() {
+        let cases = [
+            (
+                HvError::InvalidConfig {
+                    reason: "x".into(),
+                },
+                "invalid configuration",
+            ),
+            (HvError::UnknownVm { vm: 9, vms: 4 }, "out of range"),
+            (
+                HvError::PoolFull {
+                    vm: 0,
+                    capacity: 16,
+                },
+                "full",
+            ),
+            (
+                HvError::TableConstruction {
+                    reason: "y".into(),
+                },
+                "time slot table",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle));
+        }
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<HvError>();
+    }
+}

@@ -1,0 +1,827 @@
+//! The assembled hypervisor: P-channel + R-channel + executors.
+//!
+//! [`Hypervisor::step`] advances one time slot of the global timer:
+//!
+//! 1. pools expire any buffered job whose deadline has passed (misses),
+//! 2. server budgets replenish (server-based policy only),
+//! 3. if σ\* marks the slot *occupied*, the P-channel fires its pre-defined
+//!    task — untouchable by run-time traffic, which is how pre-loaded tasks
+//!    get their hard guarantee,
+//! 4. otherwise the G-Sched grants the slot to one VM's pool and the
+//!    executor runs one slot of that pool's earliest-deadline job,
+//!    preempting at slot granularity.
+
+use serde::{Deserialize, Serialize};
+
+use ioguard_sim::stats::OnlineStats;
+use ioguard_sim::time::Slots;
+use ioguard_sim::trace::{TraceBuffer, TraceKind};
+
+use crate::error::HvError;
+use crate::gsched::{Gsched, GschedPolicy};
+use crate::pchannel::{PChannel, PredefinedTask};
+use crate::pool::{IoPool, PoolEntry};
+
+/// Default hardware queue capacity of each I/O pool.
+pub const DEFAULT_POOL_CAPACITY: usize = 32;
+
+/// Slack-reclamation model for the P-channel: pre-defined jobs whose actual
+/// execution undershoots their reserved WCET release the residual table
+/// slots to the R-channel ("the hypervisor schedules and executes run-time
+/// tasks when the pre-defined tasks are not occupying the I/O", Sec. II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PchannelReclaim {
+    /// Seed of the deterministic per-job execution-time sampling.
+    pub seed: u64,
+    /// Minimum actual execution time as a fraction of WCET (uniform in
+    /// `[min_fraction, 1.0]`).
+    pub min_fraction: f64,
+}
+
+/// Construction parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HypervisorParams {
+    /// Number of VMs (pools).
+    pub vms: usize,
+    /// Queue capacity of each pool.
+    pub pool_capacity: usize,
+    /// G-Sched policy.
+    pub policy: GschedPolicy,
+    /// Pre-defined tasks loaded at initialization.
+    pub predefined: Vec<PredefinedTask>,
+    /// Maximum σ\* hyper-period the banks can hold, in slots.
+    pub max_table_len: u64,
+    /// Optional P-channel slack reclamation (None: pre-defined jobs consume
+    /// their full reserved WCET).
+    pub reclaim: Option<PchannelReclaim>,
+}
+
+impl HypervisorParams {
+    /// Defaults: global-EDF policy, 16-entry pools, no pre-defined tasks.
+    pub fn new(vms: usize) -> Self {
+        Self {
+            vms,
+            pool_capacity: DEFAULT_POOL_CAPACITY,
+            policy: GschedPolicy::GlobalEdf,
+            predefined: Vec::new(),
+            max_table_len: 1 << 22,
+            reclaim: None,
+        }
+    }
+
+    /// Sets the pre-defined (P-channel) task load.
+    pub fn with_predefined(mut self, predefined: Vec<PredefinedTask>) -> Self {
+        self.predefined = predefined;
+        self
+    }
+
+    /// Sets the G-Sched policy.
+    pub fn with_policy(mut self, policy: GschedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables P-channel slack reclamation.
+    pub fn with_reclaim(mut self, reclaim: PchannelReclaim) -> Self {
+        self.reclaim = Some(reclaim);
+        self
+    }
+}
+
+/// A run-time I/O job submitted through a VM's para-virtualized driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RtJob {
+    /// Target VM.
+    pub vm: usize,
+    /// Task identifier (for tracing; uniqueness is the caller's business).
+    pub task_id: u64,
+    /// Release slot (must be the current slot when submitting live).
+    pub release: u64,
+    /// Required execution slots.
+    pub wcet: u64,
+    /// Absolute deadline slot (exclusive).
+    pub deadline: u64,
+    /// True when a miss of this job fails the trial.
+    pub critical: bool,
+}
+
+impl RtJob {
+    /// Creates a critical job with 64-byte response payload.
+    pub fn new(vm: usize, task_id: u64, release: u64, wcet: u64, deadline: u64) -> Self {
+        Self {
+            vm,
+            task_id,
+            release,
+            wcet,
+            deadline,
+            critical: true,
+        }
+    }
+
+    /// Marks the job best-effort: its misses do not fail a trial.
+    pub fn best_effort(mut self) -> Self {
+        self.critical = false;
+        self
+    }
+}
+
+/// Aggregate execution metrics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HvMetrics {
+    /// Run-time jobs completed before their deadlines.
+    pub completed: u64,
+    /// Run-time jobs that missed (expired in a pool or rejected on a full
+    /// pool).
+    pub missed: u64,
+    /// Jobs rejected due to pool overflow (also counted in `missed`).
+    pub rejected: u64,
+    /// Misses of *critical* jobs only (the success-ratio criterion).
+    pub critical_missed: u64,
+    /// Pre-defined jobs completed by the P-channel.
+    pub predefined_completed: u64,
+    /// Slots spent executing P-channel work.
+    pub pchannel_slots: u64,
+    /// Slots spent executing R-channel work.
+    pub rchannel_slots: u64,
+    /// Free slots left idle (no eligible work).
+    pub idle_slots: u64,
+    /// Response payload bytes produced (throughput numerator).
+    pub response_bytes: u64,
+    /// Response latency of completed run-time jobs, in slots.
+    pub latency: OnlineStats,
+    /// Task ids of the most recent misses (bounded diagnostic ring).
+    pub recent_missed_tasks: Vec<u64>,
+}
+
+/// Capacity of the recent-miss diagnostic ring.
+const MISS_RING: usize = 64;
+
+impl HvMetrics {
+    fn note_miss(&mut self, task_id: u64, critical: bool) {
+        self.missed += 1;
+        self.critical_missed += u64::from(critical);
+        if self.recent_missed_tasks.len() == MISS_RING {
+            self.recent_missed_tasks.remove(0);
+        }
+        self.recent_missed_tasks.push(task_id);
+    }
+
+    /// Total slots observed.
+    pub fn total_slots(&self) -> u64 {
+        self.pchannel_slots + self.rchannel_slots + self.idle_slots
+    }
+
+    /// True when no run-time job has missed.
+    pub fn no_misses(&self) -> bool {
+        self.missed == 0
+    }
+}
+
+/// The I/O-GUARD hypervisor device model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hypervisor {
+    pools: Vec<IoPool>,
+    pchannel: PChannel,
+    gsched: Gsched,
+    now: u64,
+    metrics: HvMetrics,
+    reclaim: Option<PchannelReclaim>,
+    /// Per pre-defined task: (reserved slots left in the current job's
+    /// table allocation, actual work remaining, job counter). Only used
+    /// when `reclaim` is Some.
+    pjob_state: Vec<PjobState>,
+    /// Scheduling-event trace (disabled by default).
+    #[serde(skip, default = "TraceBuffer::disabled")]
+    trace: TraceBuffer,
+    /// (vm, task_id) of the job that ran in the previous R-channel slot —
+    /// used to detect preemptions for the trace.
+    last_dispatched: Option<(usize, u64)>,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct PjobState {
+    reserved_left: u64,
+    remaining: u64,
+    job_counter: u64,
+}
+
+/// Mixes three words into a well-spread hash (SplitMix64 finalizer).
+fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ c.rotate_left(23);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Hypervisor {
+    /// Builds the hypervisor.
+    ///
+    /// # Errors
+    ///
+    /// * [`HvError::InvalidConfig`] for zero VMs, zero pool capacity, or a
+    ///   server-based policy whose server count differs from `vms`.
+    /// * [`HvError::TableConstruction`] when the pre-defined tasks do not
+    ///   fit a feasible σ\*.
+    pub fn new(params: HypervisorParams) -> Result<Self, HvError> {
+        if params.vms == 0 {
+            return Err(HvError::InvalidConfig {
+                reason: "at least one VM".into(),
+            });
+        }
+        if params.pool_capacity == 0 {
+            return Err(HvError::InvalidConfig {
+                reason: "pool capacity must be positive".into(),
+            });
+        }
+        if let GschedPolicy::ServerBased(servers) = &params.policy {
+            if servers.len() != params.vms {
+                return Err(HvError::InvalidConfig {
+                    reason: format!(
+                        "{} servers for {} VMs",
+                        servers.len(),
+                        params.vms
+                    ),
+                });
+            }
+        }
+        let pchannel = PChannel::build(params.predefined, params.max_table_len)?;
+        let pjob_state = vec![PjobState::default(); pchannel.tasks().len()];
+        let pools = (0..params.vms)
+            .map(|_| IoPool::new(params.pool_capacity))
+            .collect();
+        Ok(Self {
+            pools,
+            pchannel,
+            gsched: Gsched::new(params.policy),
+            now: 0,
+            metrics: HvMetrics::default(),
+            reclaim: params.reclaim,
+            pjob_state,
+            trace: TraceBuffer::disabled(),
+            last_dispatched: None,
+        })
+    }
+
+    /// Enables scheduling-event tracing with a ring of `capacity` events
+    /// (releases, dispatches, preemptions, completions, misses, P-channel
+    /// firings). Zero disables tracing again.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceBuffer::new(capacity);
+    }
+
+    /// The scheduling-event trace.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Current slot of the global timer.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Execution metrics so far.
+    pub fn metrics(&self) -> &HvMetrics {
+        &self.metrics
+    }
+
+    /// The P-channel (σ\* and pre-defined tasks).
+    pub fn pchannel(&self) -> &PChannel {
+        &self.pchannel
+    }
+
+    /// The per-VM pools.
+    pub fn pools(&self) -> &[IoPool] {
+        &self.pools
+    }
+
+    /// Number of VMs.
+    pub fn vm_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Submits a run-time I/O job through VM `job.vm`'s driver.
+    ///
+    /// # Errors
+    ///
+    /// * [`HvError::UnknownVm`] for an out-of-range VM.
+    /// * [`HvError::PoolFull`] when the pool rejects the job; the job is
+    ///   accounted as missed (the hardware cannot buffer it).
+    pub fn submit(&mut self, job: RtJob) -> Result<(), HvError> {
+        let vms = self.pools.len();
+        let Some(pool) = self.pools.get_mut(job.vm) else {
+            return Err(HvError::UnknownVm { vm: job.vm, vms });
+        };
+        // The hardware sweep is continuous: expired entries free their
+        // queue slots before a new job needs one.
+        for missed in pool.expire(self.now) {
+            self.metrics.note_miss(missed.task_id, missed.critical);
+        }
+        let entry = PoolEntry {
+            task_id: job.task_id,
+            deadline: job.deadline,
+            remaining: job.wcet,
+            enqueued_at: self.now,
+            response_bytes: 64,
+            critical: job.critical,
+        };
+        match pool.insert(entry) {
+            Ok(()) => {
+                self.trace
+                    .record(Slots::new(self.now), TraceKind::Release, job.vm as u32, job.task_id as u32);
+                Ok(())
+            }
+            Err(_) => {
+                self.metrics.rejected += 1;
+                self.metrics.note_miss(job.task_id, job.critical);
+                self.trace
+                    .record(Slots::new(self.now), TraceKind::DeadlineMiss, job.vm as u32, job.task_id as u32);
+                Err(HvError::PoolFull {
+                    vm: job.vm,
+                    capacity: pool.capacity(),
+                })
+            }
+        }
+    }
+
+    /// Submits a job with an explicit response payload size (throughput
+    /// accounting).
+    ///
+    /// # Errors
+    ///
+    /// See [`Hypervisor::submit`].
+    pub fn submit_with_payload(&mut self, job: RtJob, response_bytes: u32) -> Result<(), HvError> {
+        let vms = self.pools.len();
+        let Some(pool) = self.pools.get_mut(job.vm) else {
+            return Err(HvError::UnknownVm { vm: job.vm, vms });
+        };
+        for missed in pool.expire(self.now) {
+            self.metrics.note_miss(missed.task_id, missed.critical);
+        }
+        let entry = PoolEntry {
+            task_id: job.task_id,
+            deadline: job.deadline,
+            remaining: job.wcet,
+            enqueued_at: self.now,
+            response_bytes,
+            critical: job.critical,
+        };
+        match pool.insert(entry) {
+            Ok(()) => {
+                self.trace
+                    .record(Slots::new(self.now), TraceKind::Release, job.vm as u32, job.task_id as u32);
+                Ok(())
+            }
+            Err(_) => {
+                self.metrics.rejected += 1;
+                self.metrics.note_miss(job.task_id, job.critical);
+                self.trace
+                    .record(Slots::new(self.now), TraceKind::DeadlineMiss, job.vm as u32, job.task_id as u32);
+                Err(HvError::PoolFull {
+                    vm: job.vm,
+                    capacity: pool.capacity(),
+                })
+            }
+        }
+    }
+
+    /// Advances the global timer one slot.
+    pub fn step(&mut self) {
+        let now = self.now;
+        // 1. Deadline sweep over the random-access parameter slots.
+        for (vm, pool) in self.pools.iter_mut().enumerate() {
+            for missed in pool.expire(now) {
+                self.metrics.note_miss(missed.task_id, missed.critical);
+                self.trace.record(
+                    Slots::new(now),
+                    TraceKind::DeadlineMiss,
+                    vm as u32,
+                    missed.task_id as u32,
+                );
+            }
+        }
+        // 2. Server replenishment.
+        self.gsched.tick(now);
+        // 3. P-channel owns occupied slots — unless slack reclamation is on
+        //    and the pre-defined job already finished early, releasing its
+        //    residual reservation to the R-channel.
+        let powner = self.pchannel.fire(now);
+        let p_uses_slot = match (powner, self.reclaim) {
+            (None, _) => false,
+            (Some(owner), None) => {
+                // Full-WCET semantics: the reservation is the execution.
+                if owner.completes_job {
+                    self.metrics.predefined_completed += 1;
+                    self.metrics.response_bytes +=
+                        self.pchannel.tasks()[owner.task_index].response_bytes as u64;
+                }
+                true
+            }
+            (Some(owner), Some(reclaim)) => {
+                let task = &self.pchannel.tasks()[owner.task_index];
+                let wcet = task.task.wcet();
+                let state = &mut self.pjob_state[owner.task_index];
+                if state.reserved_left == 0 {
+                    // First reserved slot of a new job: sample its actual
+                    // execution time in [min·C, C] (deterministic).
+                    state.reserved_left = wcet;
+                    state.job_counter += 1;
+                    let h = hash3(reclaim.seed, task.task_id, state.job_counter);
+                    let frac = reclaim.min_fraction
+                        + (1.0 - reclaim.min_fraction) * (h % 1024) as f64 / 1024.0;
+                    state.remaining =
+                        ((wcet as f64 * frac).round() as u64).clamp(1, wcet);
+                }
+                state.reserved_left -= 1;
+                if state.remaining > 0 {
+                    state.remaining -= 1;
+                    if state.remaining == 0 {
+                        self.metrics.predefined_completed += 1;
+                        self.metrics.response_bytes += task.response_bytes as u64;
+                    }
+                    true
+                } else {
+                    false // residual reservation — reclaimed
+                }
+            }
+        };
+        if p_uses_slot {
+            self.metrics.pchannel_slots += 1;
+            if let Some(owner) = powner {
+                self.trace.record(
+                    Slots::new(now),
+                    TraceKind::TableFire,
+                    u32::MAX,
+                    self.pchannel.tasks()[owner.task_index].task_id as u32,
+                );
+            }
+        } else {
+            // 4. Free (or reclaimed) slot: G-Sched grants one pool.
+            match self.gsched.grant(&self.pools) {
+                Some(vm) => {
+                    self.metrics.rchannel_slots += 1;
+                    let running = self.pools[vm]
+                        .shadow()
+                        .map(|e| (vm, e.task_id))
+                        .expect("granted pools are non-empty");
+                    if !self.trace.is_disabled() {
+                        match self.last_dispatched {
+                            Some(prev) if prev == running => {}
+                            Some((pvm, ptask))
+                                if self.pools.get(pvm).is_some_and(|p| {
+                                    p.iter().any(|e| e.task_id == ptask)
+                                }) =>
+                            {
+                                // A different job resumed while the previous
+                                // one still has work: a preemption.
+                                self.trace.record(
+                                    Slots::new(now),
+                                    TraceKind::Preempt,
+                                    pvm as u32,
+                                    ptask as u32,
+                                );
+                                self.trace.record(
+                                    Slots::new(now),
+                                    TraceKind::Dispatch,
+                                    running.0 as u32,
+                                    running.1 as u32,
+                                );
+                            }
+                            _ => self.trace.record(
+                                Slots::new(now),
+                                TraceKind::Dispatch,
+                                running.0 as u32,
+                                running.1 as u32,
+                            ),
+                        }
+                    }
+                    self.last_dispatched = Some(running);
+                    if let Some(done) = self.pools[vm].execute_slot() {
+                        self.metrics.completed += 1;
+                        self.metrics.response_bytes += done.response_bytes as u64;
+                        self.metrics
+                            .latency
+                            .push((now + 1 - done.enqueued_at) as f64);
+                        self.trace.record(
+                            Slots::new(now),
+                            TraceKind::Complete,
+                            vm as u32,
+                            done.task_id as u32,
+                        );
+                        self.last_dispatched = None;
+                    }
+                }
+                None => self.metrics.idle_slots += 1,
+            }
+        }
+        self.now += 1;
+    }
+
+    /// Runs `slots` consecutive slots.
+    pub fn run(&mut self, slots: u64) {
+        for _ in 0..slots {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioguard_sched::task::{PeriodicServer, SporadicTask};
+
+    fn predefined(task_id: u64, period: u64, wcet: u64) -> PredefinedTask {
+        PredefinedTask {
+            task_id,
+            vm: 0,
+            task: SporadicTask::implicit(period, wcet).unwrap(),
+            response_bytes: 100,
+            start_offset: 0,
+        }
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(
+            Hypervisor::new(HypervisorParams {
+                vms: 0,
+                ..HypervisorParams::new(1)
+            }),
+            Err(HvError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            Hypervisor::new(HypervisorParams {
+                pool_capacity: 0,
+                ..HypervisorParams::new(2)
+            }),
+            Err(HvError::InvalidConfig { .. })
+        ));
+        let bad_servers = HypervisorParams::new(2).with_policy(GschedPolicy::ServerBased(vec![
+            PeriodicServer::new(4, 1).unwrap(),
+        ]));
+        assert!(matches!(
+            Hypervisor::new(bad_servers),
+            Err(HvError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn single_job_completes_with_latency() {
+        let mut hv = Hypervisor::new(HypervisorParams::new(1)).unwrap();
+        hv.submit(RtJob::new(0, 1, 0, 3, 100)).unwrap();
+        hv.run(3);
+        assert_eq!(hv.metrics().completed, 1);
+        assert_eq!(hv.metrics().missed, 0);
+        assert_eq!(hv.metrics().latency.mean(), 3.0);
+        assert_eq!(hv.metrics().rchannel_slots, 3);
+        assert_eq!(hv.now(), 3);
+    }
+
+    #[test]
+    fn unknown_vm_rejected() {
+        let mut hv = Hypervisor::new(HypervisorParams::new(2)).unwrap();
+        assert!(matches!(
+            hv.submit(RtJob::new(5, 1, 0, 1, 10)),
+            Err(HvError::UnknownVm { vm: 5, vms: 2 })
+        ));
+    }
+
+    #[test]
+    fn pool_overflow_counts_as_miss() {
+        let params = HypervisorParams {
+            pool_capacity: 1,
+            ..HypervisorParams::new(1)
+        };
+        let mut hv = Hypervisor::new(params).unwrap();
+        hv.submit(RtJob::new(0, 1, 0, 5, 100)).unwrap();
+        assert!(matches!(
+            hv.submit(RtJob::new(0, 2, 0, 1, 100)),
+            Err(HvError::PoolFull { .. })
+        ));
+        assert_eq!(hv.metrics().missed, 1);
+        assert_eq!(hv.metrics().rejected, 1);
+    }
+
+    #[test]
+    fn deadline_miss_detected() {
+        let mut hv = Hypervisor::new(HypervisorParams::new(1)).unwrap();
+        // Needs 5 slots by slot 3: impossible.
+        hv.submit(RtJob::new(0, 1, 0, 5, 3)).unwrap();
+        hv.run(10);
+        assert_eq!(hv.metrics().missed, 1);
+        assert_eq!(hv.metrics().completed, 0);
+        // The pool is clean afterwards.
+        assert!(hv.pools()[0].is_empty());
+    }
+
+    #[test]
+    fn pchannel_owns_its_slots() {
+        // Pre-defined task occupies every 2nd slot (T=2, C=1); a run-time
+        // job gets only the free slots.
+        let params =
+            HypervisorParams::new(1).with_predefined(vec![predefined(1, 2, 1)]);
+        let mut hv = Hypervisor::new(params).unwrap();
+        hv.submit(RtJob::new(0, 7, 0, 3, 100)).unwrap();
+        hv.run(6);
+        // 3 P-channel slots, 3 R-channel slots.
+        assert_eq!(hv.metrics().pchannel_slots, 3);
+        assert_eq!(hv.metrics().rchannel_slots, 3);
+        assert_eq!(hv.metrics().predefined_completed, 3);
+        assert_eq!(hv.metrics().completed, 1);
+        // Run-time job took slots 1, 3, 5 → latency 6.
+        assert_eq!(hv.metrics().latency.mean(), 6.0);
+    }
+
+    #[test]
+    fn predefined_response_bytes_counted() {
+        let params =
+            HypervisorParams::new(1).with_predefined(vec![predefined(1, 4, 1)]);
+        let mut hv = Hypervisor::new(params).unwrap();
+        hv.run(8);
+        assert_eq!(hv.metrics().predefined_completed, 2);
+        assert_eq!(hv.metrics().response_bytes, 200);
+        assert_eq!(hv.metrics().idle_slots, 6);
+    }
+
+    #[test]
+    fn cross_vm_edf_preemption() {
+        // VM 0 submits a long lax job; VM 1 later submits a tight one. With
+        // global EDF, VM 1's job runs next slot (preempting VM 0's stream).
+        let mut hv = Hypervisor::new(HypervisorParams::new(2)).unwrap();
+        hv.submit(RtJob::new(0, 1, 0, 10, 100)).unwrap();
+        hv.run(2); // two slots of vm 0's job done
+        hv.submit(RtJob::new(1, 2, 2, 2, 6)).unwrap();
+        hv.run(2);
+        // VM 1's job must have both slots 2 and 3.
+        assert_eq!(hv.metrics().completed, 1);
+        hv.run(10);
+        assert_eq!(hv.metrics().completed, 2);
+        assert_eq!(hv.metrics().missed, 0);
+    }
+
+    #[test]
+    fn server_policy_enforces_isolation() {
+        // Two VMs, each with a (Π=4, Θ=2) server on an all-free table. VM 0
+        // floods; VM 1 must still receive 2 slots per period.
+        let servers = vec![
+            PeriodicServer::new(4, 2).unwrap(),
+            PeriodicServer::new(4, 2).unwrap(),
+        ];
+        let params = HypervisorParams::new(2)
+            .with_policy(GschedPolicy::ServerBased(servers));
+        let mut hv = Hypervisor::new(params).unwrap();
+        // VM 0: endless stream of tight jobs (2 per period, each 2 slots —
+        // twice its budget). VM 1: one job per period, 2 slots, deadline 4.
+        for k in 0..8 {
+            let t0 = 4 * k;
+            hv.submit(RtJob::new(0, 100 + k, t0, 2, t0 + 2)).unwrap();
+            hv.submit(RtJob::new(0, 200 + k, t0, 2, t0 + 4)).unwrap();
+            hv.submit(RtJob::new(1, 300 + k, t0, 2, t0 + 4)).unwrap();
+            hv.run(4);
+        }
+        // VM 1 completed all 8 jobs despite VM 0's overload.
+        let vm1_done = 8;
+        assert!(hv.metrics().completed >= vm1_done);
+        // VM 0 must have missed someone (it asked for 4 slots per 4-slot
+        // period with a 2-slot budget).
+        assert!(hv.metrics().missed > 0);
+        // And VM 1's pool is empty — its jobs were never starved.
+        assert!(hv.pools()[1].is_empty());
+    }
+
+    #[test]
+    fn step_is_deterministic() {
+        let run = || {
+            let params = HypervisorParams::new(2)
+                .with_predefined(vec![predefined(1, 8, 2)]);
+            let mut hv = Hypervisor::new(params).unwrap();
+            for k in 0..20 {
+                let t = hv.now();
+                let _ = hv.submit(RtJob::new((k % 2) as usize, k, t, 1 + k % 3, t + 20));
+                hv.run(5);
+            }
+            (
+                hv.metrics().completed,
+                hv.metrics().missed,
+                hv.metrics().response_bytes,
+                hv.metrics().latency.mean(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn metrics_slot_accounting_adds_up() {
+        let params =
+            HypervisorParams::new(1).with_predefined(vec![predefined(1, 4, 2)]);
+        let mut hv = Hypervisor::new(params).unwrap();
+        hv.submit(RtJob::new(0, 9, 0, 2, 50)).unwrap();
+        hv.run(40);
+        assert_eq!(hv.metrics().total_slots(), 40);
+        assert!(hv.metrics().no_misses());
+    }
+
+    #[test]
+    fn trace_records_scheduling_events() {
+        use ioguard_sim::trace::TraceKind;
+        let mut hv = Hypervisor::new(HypervisorParams::new(2)).unwrap();
+        hv.enable_trace(256);
+        // Long lax job, then a tight one that preempts it.
+        hv.submit(RtJob::new(0, 1, 0, 5, 100)).unwrap();
+        hv.run(2);
+        hv.submit(RtJob::new(1, 2, 2, 1, 6)).unwrap();
+        hv.run(10);
+        let trace = hv.trace();
+        assert_eq!(trace.of_kind(TraceKind::Release).count(), 2);
+        assert_eq!(trace.of_kind(TraceKind::Complete).count(), 2);
+        assert_eq!(
+            trace.of_kind(TraceKind::Preempt).count(),
+            1,
+            "job 1 preempted once by job 2: {:?}",
+            trace.iter().collect::<Vec<_>>()
+        );
+        let preempt = trace.of_kind(TraceKind::Preempt).next().unwrap();
+        assert_eq!(preempt.task, 1);
+        // Completion order: tight job 2 first.
+        let completes: Vec<u32> = trace
+            .of_kind(TraceKind::Complete)
+            .map(|e| e.task)
+            .collect();
+        assert_eq!(completes, vec![2, 1]);
+    }
+
+    #[test]
+    fn trace_records_misses_and_table_fires() {
+        use ioguard_sim::trace::TraceKind;
+        let params =
+            HypervisorParams::new(1).with_predefined(vec![predefined(9, 4, 1)]);
+        let mut hv = Hypervisor::new(params).unwrap();
+        hv.enable_trace(64);
+        hv.submit(RtJob::new(0, 1, 0, 10, 3)).unwrap(); // must miss
+        hv.run(8);
+        let trace = hv.trace();
+        assert_eq!(trace.of_kind(TraceKind::DeadlineMiss).count(), 1);
+        assert_eq!(trace.of_kind(TraceKind::TableFire).count(), 2);
+        // Disabled by default: a fresh hypervisor records nothing.
+        let mut fresh = Hypervisor::new(HypervisorParams::new(1)).unwrap();
+        fresh.submit(RtJob::new(0, 1, 0, 1, 5)).unwrap();
+        fresh.run(3);
+        assert!(fresh.trace().is_empty());
+    }
+
+    #[test]
+    fn analysis_schedulable_implies_no_hypervisor_misses() {
+        // Cross-validation against the theory crate: build a system that
+        // passes the two-layer test, then drive the hypervisor with the
+        // synchronous release pattern and expect zero misses.
+        use ioguard_sched::analysis::TwoLayerAnalysis;
+        use ioguard_sched::task::TaskSet;
+
+        let pre = vec![predefined(1, 10, 2)]; // σ*: 2 occupied per 10
+        let servers = vec![
+            PeriodicServer::new(5, 2).unwrap(),
+            PeriodicServer::new(10, 3).unwrap(),
+        ];
+        let vm0: TaskSet = vec![SporadicTask::new(20, 2, 10).unwrap()].into();
+        let vm1: TaskSet = vec![SporadicTask::new(40, 4, 30).unwrap()].into();
+
+        let pch = PChannel::build(pre.clone(), 1000).unwrap();
+        let analysis = TwoLayerAnalysis::new(
+            pch.table().clone(),
+            servers.clone(),
+            vec![vm0.clone(), vm1.clone()],
+        )
+        .unwrap();
+        assert!(analysis.schedulable().unwrap().is_schedulable());
+
+        let params = HypervisorParams::new(2)
+            .with_predefined(pre)
+            .with_policy(GschedPolicy::ServerBased(servers));
+        let mut hv = Hypervisor::new(params).unwrap();
+        let horizon = 2000;
+        let mut next_id = 0u64;
+        for t in 0..horizon {
+            for (vm, ts) in [(0usize, &vm0), (1usize, &vm1)] {
+                for task in ts.iter() {
+                    if t % task.period() == 0 {
+                        next_id += 1;
+                        hv.submit(RtJob::new(
+                            vm,
+                            next_id,
+                            t,
+                            task.wcet(),
+                            t + task.deadline(),
+                        ))
+                        .unwrap();
+                    }
+                }
+            }
+            hv.step();
+        }
+        hv.run(60); // drain
+        assert_eq!(hv.metrics().missed, 0, "{:?}", hv.metrics());
+        assert!(hv.metrics().completed > 0);
+        assert!(hv.metrics().predefined_completed > 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The per-VM I/O pool: random-access priority queue + L-Sched + shadow
+//! register.
+//!
+//! Unlike a conventional FIFO, the pool's queue supports *random access*:
+//! each buffered I/O task carries an additional register-backed slot with
+//! its scheduling parameters, readable and writable by the schedulers in a
+//! timely manner (Sec. III-A). The L-Sched continuously selects the
+//! earliest-deadline task and maps its next operation to the shadow
+//! register, where the G-Sched can see it.
+
+use serde::{Deserialize, Serialize};
+
+/// One buffered run-time I/O task inside a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolEntry {
+    /// Caller-assigned task identifier (unique within the VM).
+    pub task_id: u64,
+    /// Absolute deadline, in slots (exclusive).
+    pub deadline: u64,
+    /// Remaining execution slots.
+    pub remaining: u64,
+    /// Slot at which the task entered the pool.
+    pub enqueued_at: u64,
+    /// Response payload bytes to emit on completion.
+    pub response_bytes: u32,
+    /// True when a deadline miss of this task fails the trial (safety and
+    /// function tasks; synthetic filler is best-effort).
+    pub critical: bool,
+}
+
+/// The I/O pool of one VM.
+///
+/// # Example
+///
+/// ```
+/// use ioguard_hypervisor::pool::{IoPool, PoolEntry};
+///
+/// let mut pool = IoPool::new(4);
+/// pool.insert(PoolEntry { task_id: 1, deadline: 50, remaining: 2, enqueued_at: 0, response_bytes: 64, critical: true }).expect("space");
+/// pool.insert(PoolEntry { task_id: 2, deadline: 10, remaining: 1, enqueued_at: 0, response_bytes: 64, critical: true }).expect("space");
+/// // The L-Sched surfaces the earliest deadline in the shadow register.
+/// assert_eq!(pool.shadow().expect("non-empty").task_id, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoPool {
+    entries: Vec<PoolEntry>,
+    capacity: usize,
+    /// Jobs that could not be admitted because the queue was full.
+    rejected: u64,
+}
+
+impl IoPool {
+    /// Creates a pool with the given hardware queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            rejected: 0,
+        }
+    }
+
+    /// Buffered task count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hardware capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of rejected (overflowed) submissions so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Inserts a task. Returns `Err(entry)` when the pool is full (the
+    /// caller decides whether that is a drop or a miss).
+    pub fn insert(&mut self, entry: PoolEntry) -> Result<(), PoolEntry> {
+        if self.entries.len() == self.capacity {
+            self.rejected += 1;
+            return Err(entry);
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// The L-Sched output: the entry with the earliest deadline (ties by
+    /// task id), i.e. the contents of the shadow register.
+    pub fn shadow(&self) -> Option<PoolEntry> {
+        self.entries
+            .iter()
+            .copied()
+            .min_by_key(|e| (e.deadline, e.task_id))
+    }
+
+    /// Executes one slot of the shadow entry (called by the executor when
+    /// the G-Sched grants this pool the slot). Returns the entry if it
+    /// *completed* with this slot, removing it from the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty — the G-Sched only grants pools with a
+    /// valid shadow register.
+    pub fn execute_slot(&mut self) -> Option<PoolEntry> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.deadline, e.task_id))
+            .map(|(i, _)| i)
+            .expect("G-Sched grants only non-empty pools");
+        self.entries[idx].remaining -= 1;
+        if self.entries[idx].remaining == 0 {
+            Some(self.entries.swap_remove(idx))
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns every entry whose deadline is `≤ now` with work
+    /// remaining (deadline misses). Random access makes this a hardware
+    /// sweep over the parameter slots.
+    pub fn expire(&mut self, now: u64) -> Vec<PoolEntry> {
+        let mut missed = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].deadline <= now {
+                missed.push(self.entries.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        missed
+    }
+
+    /// Iterates over buffered entries (order unspecified — the queue is
+    /// random-access, not FIFO).
+    pub fn iter(&self) -> std::slice::Iter<'_, PoolEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(task_id: u64, deadline: u64, remaining: u64) -> PoolEntry {
+        PoolEntry {
+            task_id,
+            deadline,
+            remaining,
+            enqueued_at: 0,
+            response_bytes: 64,
+            critical: true,
+        }
+    }
+
+    #[test]
+    fn shadow_tracks_earliest_deadline() {
+        let mut p = IoPool::new(8);
+        assert_eq!(p.shadow(), None);
+        p.insert(entry(1, 100, 2)).unwrap();
+        assert_eq!(p.shadow().unwrap().task_id, 1);
+        p.insert(entry(2, 50, 2)).unwrap();
+        assert_eq!(p.shadow().unwrap().task_id, 2);
+        p.insert(entry(3, 75, 2)).unwrap();
+        assert_eq!(p.shadow().unwrap().task_id, 2);
+    }
+
+    #[test]
+    fn shadow_ties_break_by_task_id() {
+        let mut p = IoPool::new(4);
+        p.insert(entry(9, 10, 1)).unwrap();
+        p.insert(entry(3, 10, 1)).unwrap();
+        assert_eq!(p.shadow().unwrap().task_id, 3);
+    }
+
+    #[test]
+    fn execute_slot_decrements_and_completes() {
+        let mut p = IoPool::new(4);
+        p.insert(entry(1, 100, 2)).unwrap();
+        assert_eq!(p.execute_slot(), None); // 1 slot left
+        let done = p.execute_slot().expect("completes");
+        assert_eq!(done.task_id, 1);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn execute_slot_preempts_between_tasks() {
+        // Random access: a later-arriving tighter task takes the next slot —
+        // the preemption FIFOs cannot do.
+        let mut p = IoPool::new(4);
+        p.insert(entry(1, 100, 3)).unwrap();
+        assert_eq!(p.execute_slot(), None); // task 1 partially done
+        p.insert(entry(2, 10, 1)).unwrap();
+        let done = p.execute_slot().expect("task 2 completes first");
+        assert_eq!(done.task_id, 2);
+        // Task 1 resumes with its remaining budget intact.
+        assert_eq!(p.shadow().unwrap().remaining, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty pools")]
+    fn execute_on_empty_pool_panics() {
+        let mut p = IoPool::new(2);
+        let _ = p.execute_slot();
+    }
+
+    #[test]
+    fn capacity_overflow_rejected() {
+        let mut p = IoPool::new(2);
+        p.insert(entry(1, 10, 1)).unwrap();
+        p.insert(entry(2, 20, 1)).unwrap();
+        let spilled = p.insert(entry(3, 30, 1)).unwrap_err();
+        assert_eq!(spilled.task_id, 3);
+        assert_eq!(p.rejected(), 1);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.capacity(), 2);
+    }
+
+    #[test]
+    fn expire_removes_only_late_entries() {
+        let mut p = IoPool::new(8);
+        p.insert(entry(1, 10, 1)).unwrap();
+        p.insert(entry(2, 20, 1)).unwrap();
+        p.insert(entry(3, 30, 1)).unwrap();
+        let missed = p.expire(20);
+        let mut ids: Vec<u64> = missed.iter().map(|e| e.task_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.shadow().unwrap().task_id, 3);
+    }
+
+    #[test]
+    fn expire_on_empty_is_noop() {
+        let mut p = IoPool::new(2);
+        assert!(p.expire(100).is_empty());
+    }
+
+    #[test]
+    fn iter_exposes_entries() {
+        let mut p = IoPool::new(4);
+        p.insert(entry(1, 10, 1)).unwrap();
+        p.insert(entry(2, 20, 2)).unwrap();
+        let ids: Vec<u64> = p.iter().map(|e| e.task_id).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&1) && ids.contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = IoPool::new(0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for the hypervisor device model.
+
+use proptest::prelude::*;
+
+use ioguard_hypervisor::gsched::GschedPolicy;
+use ioguard_hypervisor::hypervisor::{
+    Hypervisor, HypervisorParams, PchannelReclaim, RtJob,
+};
+use ioguard_hypervisor::pchannel::{PChannel, PredefinedTask};
+use ioguard_hypervisor::pool::{IoPool, PoolEntry};
+use ioguard_sched::task::{PeriodicServer, SporadicTask};
+
+fn arb_predefined_set() -> impl Strategy<Value = Vec<PredefinedTask>> {
+    prop::collection::vec(
+        (2u64..=12, 1u64..=3, 0u64..12).prop_map(|(period, wcet, offset)| {
+            let wcet = wcet.min(period);
+            PredefinedTask {
+                task_id: period * 1000 + wcet * 100 + offset,
+                vm: 0,
+                task: SporadicTask::implicit(period, wcet).expect("valid"),
+                response_bytes: 16,
+                start_offset: offset,
+            }
+        }),
+        0..=3,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// σ* invariants for any feasible pre-defined set: per hyper-period,
+    /// each task owns exactly C·(H/T) slots, exactly one completing slot
+    /// per job, and the free mask matches the owner map.
+    #[test]
+    fn pchannel_table_invariants(tasks in arb_predefined_set()) {
+        let Ok(pch) = PChannel::build(tasks.clone(), 4096) else {
+            return Ok(()); // infeasible set: construction correctly refuses
+        };
+        let h = pch.hyper_period();
+        for (idx, t) in pch.tasks().iter().enumerate() {
+            let jobs = h / t.task.period();
+            let owned = (0..h)
+                .filter(|&s| pch.fire(s).map(|o| o.task_index) == Some(idx))
+                .count() as u64;
+            prop_assert_eq!(owned, jobs * t.task.wcet(), "task {} slot count", idx);
+            let completions = (0..h)
+                .filter(|&s| {
+                    pch.fire(s)
+                        .map(|o| o.task_index == idx && o.completes_job)
+                        .unwrap_or(false)
+                })
+                .count() as u64;
+            prop_assert_eq!(completions, jobs, "task {} one completion per job", idx);
+        }
+        for s in 0..h {
+            prop_assert_eq!(pch.table().is_free(s), pch.fire(s).is_none());
+        }
+    }
+
+    /// Every pre-defined job's slots land inside its own release window.
+    #[test]
+    fn pchannel_slots_respect_windows(tasks in arb_predefined_set()) {
+        let Ok(pch) = PChannel::build(tasks, 4096) else { return Ok(()) };
+        let h = pch.hyper_period();
+        for (idx, t) in pch.tasks().iter().enumerate() {
+            let period = t.task.period();
+            let offset = t.start_offset % period;
+            // Walk two hyper-periods and check each owned slot falls in
+            // some window [offset + kT, offset + kT + D) modulo wrap.
+            for s in 0..2 * h {
+                if pch.fire(s).map(|o| o.task_index) == Some(idx) {
+                    let rel = (s + period - (offset % period)) % period;
+                    prop_assert!(
+                        rel < t.task.deadline(),
+                        "task {} slot {} at window offset {} >= D {}",
+                        idx,
+                        s,
+                        rel,
+                        t.task.deadline()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pool EDF invariant: the shadow register always holds the minimum
+    /// deadline among buffered entries, under arbitrary insert/execute
+    /// interleavings.
+    #[test]
+    fn pool_shadow_is_always_min(ops in prop::collection::vec((0u8..4, 1u64..100, 1u64..4), 1..60)) {
+        let mut pool = IoPool::new(16);
+        let mut next_id = 0u64;
+        for (op, deadline, wcet) in ops {
+            match op {
+                0..=2 => {
+                    next_id += 1;
+                    let _ = pool.insert(PoolEntry {
+                        task_id: next_id,
+                        deadline,
+                        remaining: wcet,
+                        enqueued_at: 0,
+                        response_bytes: 0,
+                        critical: true,
+                    });
+                }
+                _ => {
+                    if !pool.is_empty() {
+                        let _ = pool.execute_slot();
+                    }
+                }
+            }
+            if let Some(shadow) = pool.shadow() {
+                let min = pool
+                    .iter()
+                    .map(|e| (e.deadline, e.task_id))
+                    .min()
+                    .expect("non-empty");
+                prop_assert_eq!((shadow.deadline, shadow.task_id), min);
+            }
+        }
+    }
+
+    /// Work conservation of the device: with a backlogged pool and a free
+    /// table, no slot idles.
+    #[test]
+    fn no_idle_slots_under_backlog(wcets in prop::collection::vec(1u64..6, 4..12)) {
+        let mut hv = Hypervisor::new(HypervisorParams::new(1)).expect("valid");
+        let total: u64 = wcets.iter().sum();
+        for (i, w) in wcets.iter().enumerate() {
+            hv.submit(RtJob::new(0, i as u64, 0, *w, 10_000)).expect("fits");
+        }
+        hv.run(total);
+        prop_assert_eq!(hv.metrics().idle_slots, 0);
+        prop_assert_eq!(hv.metrics().rchannel_slots, total);
+        prop_assert_eq!(hv.metrics().completed, wcets.len() as u64);
+    }
+
+    /// Reclamation never loses work: with slack reclamation on, every
+    /// pre-defined job still completes exactly once per period, and total
+    /// slot accounting balances.
+    #[test]
+    fn reclamation_preserves_completions(tasks in arb_predefined_set(), seed in any::<u64>()) {
+        if tasks.is_empty() {
+            return Ok(());
+        }
+        let Ok(probe) = PChannel::build(tasks.clone(), 4096) else { return Ok(()) };
+        let h = probe.hyper_period();
+        let expected_per_hyper: u64 = tasks.iter().map(|t| h / t.task.period()).sum();
+        let params = HypervisorParams::new(1)
+            .with_predefined(tasks)
+            .with_reclaim(PchannelReclaim { seed, min_fraction: 0.5 });
+        let mut hv = Hypervisor::new(params).expect("probe succeeded");
+        let periods = 4;
+        hv.run(periods * h);
+        prop_assert_eq!(
+            hv.metrics().predefined_completed,
+            periods * expected_per_hyper
+        );
+        prop_assert_eq!(hv.metrics().total_slots(), periods * h);
+        // Reclamation can only donate slots, never consume extra.
+        prop_assert!(hv.metrics().pchannel_slots <= periods * (h - probe.table().free_slots()));
+    }
+
+    /// Server-based G-Sched never grants a VM more than its budget within
+    /// any server period.
+    #[test]
+    fn server_budget_is_never_exceeded(
+        budget in 1u64..4,
+        period_factor in 2u64..5,
+        jobs in prop::collection::vec(1u64..4, 4..20),
+    ) {
+        let period = budget * period_factor;
+        let servers = vec![PeriodicServer::new(period, budget).expect("valid")];
+        let params = HypervisorParams::new(1)
+            .with_policy(GschedPolicy::ServerBased(servers));
+        let mut hv = Hypervisor::new(params).expect("valid");
+        // Saturate the pool.
+        for (i, w) in jobs.iter().enumerate() {
+            let _ = hv.submit(RtJob::new(0, i as u64, 0, *w, 100_000));
+        }
+        let horizon = 20 * period;
+        let mut granted_in_period = 0u64;
+        for t in 0..horizon {
+            let before = hv.metrics().rchannel_slots;
+            hv.step();
+            granted_in_period += hv.metrics().rchannel_slots - before;
+            if (t + 1) % period == 0 {
+                prop_assert!(
+                    granted_in_period <= budget,
+                    "granted {} > budget {} in one period",
+                    granted_in_period,
+                    budget
+                );
+                granted_in_period = 0;
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for the NoC substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::topology::NodeId;
+
+/// Errors raised by network construction and packet injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// Mesh dimensions must both be at least 1.
+    InvalidDimensions {
+        /// Requested width.
+        width: u16,
+        /// Requested height.
+        height: u16,
+    },
+    /// A node coordinate fell outside the mesh.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Mesh width.
+        width: u16,
+        /// Mesh height.
+        height: u16,
+    },
+    /// A packet was injected with zero payload flits.
+    EmptyPacket {
+        /// Id of the offending packet.
+        id: u64,
+    },
+    /// The injection queue at a node is full (bounded NI buffer).
+    InjectionQueueFull {
+        /// The node whose queue is full.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::InvalidDimensions { width, height } => {
+                write!(f, "invalid mesh dimensions {width}x{height}")
+            }
+            NocError::NodeOutOfRange {
+                node,
+                width,
+                height,
+            } => write!(f, "node {node} outside {width}x{height} mesh"),
+            NocError::EmptyPacket { id } => write!(f, "packet {id} has no payload flits"),
+            NocError::InjectionQueueFull { node } => {
+                write!(f, "injection queue full at node {node}")
+            }
+        }
+    }
+}
+
+impl Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NocError::InvalidDimensions {
+            width: 0,
+            height: 3
+        }
+        .to_string()
+        .contains("0x3"));
+        assert!(NocError::NodeOutOfRange {
+            node: NodeId::new(9, 9),
+            width: 2,
+            height: 2
+        }
+        .to_string()
+        .contains("(9,9)"));
+        assert!(NocError::EmptyPacket { id: 7 }.to_string().contains('7'));
+        assert!(NocError::InjectionQueueFull {
+            node: NodeId::new(1, 1)
+        }
+        .to_string()
+        .contains("full"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<NocError>();
+    }
+}

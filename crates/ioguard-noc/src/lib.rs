@@ -1,0 +1,53 @@
+//! Cycle-level mesh Network-on-Chip substrate.
+//!
+//! The paper's platform is a 5×5 mesh, predictability-focused NoC
+//! (BlueShell) carrying I/O requests and responses between 16 MicroBlaze
+//! processors, memory and the I/O peripherals. This crate models that
+//! substrate at the level that matters for the evaluation: *path length*,
+//! *router arbitration* and *FIFO blocking* — the three mechanisms behind
+//! the baseline systems' contention-induced latency variance (Fig. 1 and
+//! Obs. 4 of the paper).
+//!
+//! * [`topology`] — 2-D mesh coordinates, ports and deterministic XY
+//!   routing.
+//! * [`packet`] — the packet/flit protocol: I/O requests and responses
+//!   encapsulated as wormhole flit streams with a BlueShell-style header.
+//! * [`arbiter`] — round-robin and fixed-priority output-port arbiters.
+//! * [`router`] — a single 5-port wormhole router with per-input FIFOs and
+//!   per-output channel locks.
+//! * [`network`] — the assembled mesh: injection/ejection interfaces, a
+//!   global `step()` that advances every router one cycle, and per-packet
+//!   latency accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use ioguard_noc::network::{Network, NetworkConfig};
+//! use ioguard_noc::packet::{Packet, PacketKind};
+//! use ioguard_noc::topology::NodeId;
+//!
+//! let mut net = Network::new(NetworkConfig::mesh(3, 3))?;
+//! let src = NodeId::new(0, 0);
+//! let dst = NodeId::new(2, 2);
+//! net.inject(Packet::request(1, src, dst, 4)?)?;
+//! let delivered = net.run_until_idle(10_000);
+//! assert_eq!(delivered.len(), 1);
+//! assert_eq!(delivered[0].packet.id(), 1);
+//! # Ok::<(), ioguard_noc::NocError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod error;
+pub mod network;
+pub mod packet;
+pub mod router;
+pub mod topology;
+pub mod traffic;
+
+pub use error::NocError;
+pub use network::{Network, NetworkConfig};
+pub use packet::{Packet, PacketKind};
+pub use topology::{Direction, NodeId};

@@ -1,0 +1,261 @@
+//! Synthetic traffic patterns and load sweeps.
+//!
+//! The case study needs the mesh's qualitative behaviour — latency growth
+//! under contention — quantified. This module provides the standard NoC
+//! evaluation patterns (uniform random, hotspot, transpose) with an
+//! offered-load control, and a sweep harness measuring delivered latency
+//! statistics at each load point.
+
+use serde::{Deserialize, Serialize};
+
+use ioguard_sim::rng::Xoshiro256StarStar;
+use ioguard_sim::stats::OnlineStats;
+
+use crate::error::NocError;
+use crate::network::{Network, NetworkConfig};
+use crate::packet::{Packet, PacketKind};
+use crate::topology::NodeId;
+
+/// Spatial traffic pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Every packet picks a uniformly random destination ≠ source.
+    UniformRandom,
+    /// All packets head to one hotspot node (the I/O corner in the paper's
+    /// platform — the pattern legacy I/O access creates).
+    Hotspot {
+        /// The destination everyone fights for.
+        target: NodeId,
+    },
+    /// Node (x, y) sends to (y, x) — the classic adversarial permutation
+    /// for XY routing.
+    Transpose,
+}
+
+impl TrafficPattern {
+    /// The destination for a packet from `src` (None: this node does not
+    /// send under the pattern).
+    fn destination(
+        &self,
+        src: NodeId,
+        width: u16,
+        height: u16,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Option<NodeId> {
+        match self {
+            TrafficPattern::UniformRandom => loop {
+                let dst = NodeId::new(
+                    rng.range_u64(0, width as u64) as u16,
+                    rng.range_u64(0, height as u64) as u16,
+                );
+                if dst != src {
+                    return Some(dst);
+                }
+            },
+            TrafficPattern::Hotspot { target } => (src != *target).then_some(*target),
+            TrafficPattern::Transpose => {
+                let dst = NodeId::new(src.y, src.x);
+                (dst != src && dst.x < width && dst.y < height).then_some(dst)
+            }
+        }
+    }
+}
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Offered injection rate, flits per node per cycle.
+    pub offered_load: f64,
+    /// Packets delivered within the measurement window.
+    pub delivered: u64,
+    /// Mean delivered latency in cycles.
+    pub mean_latency: f64,
+    /// Maximum delivered latency in cycles.
+    pub max_latency: f64,
+    /// Delivered throughput, flits per node per cycle.
+    pub throughput: f64,
+}
+
+/// Configuration of a load sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// The mesh under test.
+    pub network: NetworkConfig,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Payload flits per packet.
+    pub payload_flits: u32,
+    /// Injection window in cycles (packets injected during this window).
+    pub warm_cycles: u64,
+    /// Drain limit after the window, in cycles.
+    pub drain_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// Defaults on the paper's 5×5 platform.
+    pub fn paper_platform(pattern: TrafficPattern) -> Self {
+        Self {
+            network: NetworkConfig::paper_platform(),
+            pattern,
+            payload_flits: 3,
+            warm_cycles: 2_000,
+            drain_cycles: 20_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Runs one offered-load point: Bernoulli injection per node per cycle at
+/// `offered_load / total_flits` packet probability.
+///
+/// # Errors
+///
+/// Propagates [`NocError`] from network construction.
+pub fn run_load_point(config: &SweepConfig, offered_load: f64) -> Result<LoadPoint, NocError> {
+    let mut net = Network::new(config.network.clone())?;
+    let mesh = net.mesh();
+    let mut rng = Xoshiro256StarStar::new(config.seed);
+    let total_flits = 1 + config.payload_flits;
+    let packet_prob = (offered_load / total_flits as f64).min(1.0);
+    let mut next_id = 1u64;
+
+    for _ in 0..config.warm_cycles {
+        for src in mesh.iter_nodes().collect::<Vec<_>>() {
+            if rng.chance(packet_prob) {
+                if let Some(dst) = config
+                    .pattern
+                    .destination(src, mesh.width(), mesh.height(), &mut rng)
+                {
+                    let packet = Packet::new(
+                        next_id,
+                        PacketKind::Memory,
+                        src,
+                        dst,
+                        config.payload_flits,
+                        0,
+                    )
+                    .expect("payload ≥ 1");
+                    // Saturated NIs drop the injection attempt — offered
+                    // load beyond saturation cannot be forced in.
+                    if net.inject(packet).is_ok() {
+                        next_id += 1;
+                    }
+                }
+            }
+        }
+        net.step();
+    }
+    net.run_until_idle(config.drain_cycles);
+
+    let mut lat = OnlineStats::new();
+    for d in net.deliveries() {
+        lat.push(d.latency().raw() as f64);
+    }
+    let delivered = net.deliveries().len() as u64;
+    Ok(LoadPoint {
+        offered_load,
+        delivered,
+        mean_latency: lat.mean(),
+        max_latency: lat.max().unwrap_or(0.0),
+        throughput: delivered as f64 * total_flits as f64
+            / (config.warm_cycles as f64 * mesh.nodes() as f64),
+    })
+}
+
+/// Sweeps offered load over `loads` and returns one point each.
+///
+/// # Errors
+///
+/// Propagates [`NocError`] from network construction.
+pub fn run_sweep(config: &SweepConfig, loads: &[f64]) -> Result<Vec<LoadPoint>, NocError> {
+    loads.iter().map(|&l| run_load_point(config, l)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_latency_grows_with_load() {
+        let config = SweepConfig::paper_platform(TrafficPattern::UniformRandom);
+        let points = run_sweep(&config, &[0.02, 0.30]).unwrap();
+        assert!(points[0].delivered > 0);
+        assert!(
+            points[1].mean_latency > points[0].mean_latency,
+            "{points:?}"
+        );
+        assert!(points[1].throughput > points[0].throughput);
+    }
+
+    #[test]
+    fn hotspot_saturates_earlier_than_uniform() {
+        let load = 0.15;
+        let uniform = run_load_point(
+            &SweepConfig::paper_platform(TrafficPattern::UniformRandom),
+            load,
+        )
+        .unwrap();
+        let hotspot = run_load_point(
+            &SweepConfig::paper_platform(TrafficPattern::Hotspot {
+                target: NodeId::new(2, 2),
+            }),
+            load,
+        )
+        .unwrap();
+        assert!(
+            hotspot.mean_latency > uniform.mean_latency,
+            "hotspot {hotspot:?} vs uniform {uniform:?}"
+        );
+        // The hotspot's single ejection port caps throughput.
+        assert!(hotspot.throughput < uniform.throughput);
+    }
+
+    #[test]
+    fn transpose_only_offdiagonal_nodes_send() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let p = TrafficPattern::Transpose;
+        assert_eq!(p.destination(NodeId::new(2, 2), 5, 5, &mut rng), None);
+        assert_eq!(
+            p.destination(NodeId::new(1, 3), 5, 5, &mut rng),
+            Some(NodeId::new(3, 1))
+        );
+    }
+
+    #[test]
+    fn uniform_never_self_addresses() {
+        let mut rng = Xoshiro256StarStar::new(9);
+        for _ in 0..500 {
+            let src = NodeId::new(
+                rng.range_u64(0, 4) as u16,
+                rng.range_u64(0, 4) as u16,
+            );
+            let dst = TrafficPattern::UniformRandom
+                .destination(src, 4, 4, &mut rng)
+                .expect("uniform always sends");
+            assert_ne!(dst, src);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let config = SweepConfig::paper_platform(TrafficPattern::UniformRandom);
+        let a = run_load_point(&config, 0.1).unwrap();
+        let b = run_load_point(&config, 0.1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hotspot_target_never_sends() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let p = TrafficPattern::Hotspot {
+            target: NodeId::new(0, 0),
+        };
+        assert_eq!(p.destination(NodeId::new(0, 0), 5, 5, &mut rng), None);
+        assert_eq!(
+            p.destination(NodeId::new(1, 0), 5, 5, &mut rng),
+            Some(NodeId::new(0, 0))
+        );
+    }
+}

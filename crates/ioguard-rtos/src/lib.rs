@@ -1,0 +1,43 @@
+//! Software-stack model of the RTOS I/O paths (Fig. 3).
+//!
+//! The paper's Fig. 3 contrasts the software an I/O request crosses in a
+//! legacy FreeRTOS system against I/O-GUARD's para-virtualized stack:
+//!
+//! * **Legacy**: user application → OS kernel (I/O manager) → low-level
+//!   driver → device.
+//! * **Conventional virtualization (RT-Xen-like)**: application → front-end
+//!   driver → *trap into VMM* → VMM I/O scheduler → back-end driver →
+//!   low-level driver → device.
+//! * **BlueVisor**: application → thin VMM shim → hardware I/O stack.
+//! * **I/O-GUARD**: application → high-level I/O driver (a pure forwarder)
+//!   → hardware hypervisor — "without the involvement of OS kernel"
+//!   (Sec. II-A).
+//!
+//! [`path`] builds these chains from calibrated per-layer cycle costs and
+//! prices one I/O operation end to end; [`layers`] defines the layer
+//! catalogue. The per-operation costs justify the constants used by the
+//! executable baseline models in `ioguard-baselines`, and the layer
+//! inventory drives the Fig. 6 footprint story.
+//!
+//! # Example
+//!
+//! ```
+//! use ioguard_rtos::path::IoPath;
+//! use ioguard_hw::footprint::SystemKind;
+//!
+//! let legacy = IoPath::for_system(SystemKind::Legacy);
+//! let ioguard = IoPath::for_system(SystemKind::IoGuard);
+//! // I/O-GUARD crosses fewer software layers …
+//! assert!(ioguard.layer_count() < legacy.layer_count());
+//! // … and costs fewer cycles per operation.
+//! assert!(ioguard.request_cycles(256) < legacy.request_cycles(256));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layers;
+pub mod path;
+
+pub use layers::SoftwareLayer;
+pub use path::IoPath;

@@ -1,0 +1,138 @@
+//! Error type for the schedulability analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing workload models or running tests.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// A task parameter violated the model's constraints.
+    InvalidTask {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A server parameter violated `1 ≤ Θ ≤ Π`.
+    InvalidServer {
+        /// Server period Π.
+        period: u64,
+        /// Server budget Θ.
+        budget: u64,
+    },
+    /// A time slot table parameter was out of range.
+    InvalidTable {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The number of servers and VM task sets disagreed.
+    VmCountMismatch {
+        /// Number of periodic servers supplied.
+        servers: usize,
+        /// Number of VM task sets supplied.
+        task_sets: usize,
+    },
+    /// An exact test's hyper-period bound overflowed or exceeded the
+    /// configured limit; use the pseudo-polynomial test instead.
+    HyperPeriodOverflow {
+        /// The limit that was exceeded (0 when the LCM overflowed `u64`).
+        limit: u64,
+    },
+    /// The pseudo-polynomial test's slack condition `F/H − ΣΘ/Π ≥ c` (or its
+    /// L-Sched analogue) failed, so Theorem 2/4 does not apply.
+    SlackTooSmall {
+        /// The available slack.
+        slack: f64,
+        /// The constant `c` the theorem requires.
+        required: f64,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidTask { reason } => write!(f, "invalid task: {reason}"),
+            SchedError::InvalidServer { period, budget } => write!(
+                f,
+                "invalid server: budget {budget} outside [1, {period}] for period {period}"
+            ),
+            SchedError::InvalidTable { reason } => write!(f, "invalid time slot table: {reason}"),
+            SchedError::VmCountMismatch { servers, task_sets } => write!(
+                f,
+                "server count {servers} does not match VM task set count {task_sets}"
+            ),
+            SchedError::HyperPeriodOverflow { limit } => {
+                if *limit == 0 {
+                    write!(f, "hyper-period overflows u64; use the pseudo-polynomial test")
+                } else {
+                    write!(f, "hyper-period exceeds the configured limit {limit}")
+                }
+            }
+            SchedError::SlackTooSmall { slack, required } => write!(
+                f,
+                "slack {slack:.6} below required constant {required:.6}; theorem precondition fails"
+            ),
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(SchedError, &str)> = vec![
+            (
+                SchedError::InvalidTask {
+                    reason: "deadline exceeds period".into(),
+                },
+                "invalid task",
+            ),
+            (
+                SchedError::InvalidServer {
+                    period: 5,
+                    budget: 9,
+                },
+                "invalid server",
+            ),
+            (
+                SchedError::InvalidTable {
+                    reason: "zero length".into(),
+                },
+                "invalid time slot table",
+            ),
+            (
+                SchedError::VmCountMismatch {
+                    servers: 2,
+                    task_sets: 3,
+                },
+                "does not match",
+            ),
+            (SchedError::HyperPeriodOverflow { limit: 0 }, "overflows"),
+            (SchedError::HyperPeriodOverflow { limit: 10 }, "exceeds"),
+            (
+                SchedError::SlackTooSmall {
+                    slack: 0.001,
+                    required: 0.01,
+                },
+                "slack",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "error messages start lowercase: {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_error(SchedError::HyperPeriodOverflow { limit: 0 });
+    }
+}

@@ -1,0 +1,237 @@
+//! Sensitivity analysis: how much headroom an admitted system has.
+//!
+//! Deployment questions the plain accept/reject tests cannot answer:
+//! *how much can WCETs grow before a VM becomes unschedulable?* and *how
+//! large an extra task can a VM still admit?* Both are monotone in the
+//! demand, so binary search over the exact L-Sched test answers them.
+
+use crate::error::SchedError;
+use crate::lsched::theorem3_exact;
+use crate::task::{PeriodicServer, SporadicTask, TaskSet};
+
+/// Default hyper-period cap for the searches.
+const MAX_HYPER: u64 = 1 << 26;
+
+/// The largest uniform WCET scale factor (in per-mille, so 1000 = ×1.0)
+/// that keeps `tasks` schedulable on `server` under Theorem 3.
+///
+/// Returns 0 when the set is unschedulable as given, and caps the search
+/// at ×8 (8000‰) — beyond that the answer is "effectively unconstrained".
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] from the exact test (hyper-period overflow).
+///
+/// # Example
+///
+/// ```
+/// use ioguard_sched::sensitivity::max_wcet_scale_permille;
+/// use ioguard_sched::task::{PeriodicServer, SporadicTask, TaskSet};
+///
+/// let server = PeriodicServer::new(10, 5)?;
+/// let tasks: TaskSet = vec![SporadicTask::new(100, 10, 100)?].into();
+/// let scale = max_wcet_scale_permille(&server, &tasks)?;
+/// assert!(scale >= 2000, "10% utilization on a 50% server: ≥ ×2 headroom");
+/// # Ok::<(), ioguard_sched::SchedError>(())
+/// ```
+pub fn max_wcet_scale_permille(
+    server: &PeriodicServer,
+    tasks: &TaskSet,
+) -> Result<u64, SchedError> {
+    let scaled = |permille: u64| -> Option<TaskSet> {
+        tasks
+            .iter()
+            .map(|t| {
+                let wcet = (t.wcet() * permille).div_ceil(1000).max(1);
+                SporadicTask::new(t.period(), wcet, t.deadline()).ok()
+            })
+            .collect::<Option<Vec<_>>>()
+            .map(TaskSet::from)
+    };
+    let passes = |permille: u64| -> Result<bool, SchedError> {
+        match scaled(permille) {
+            Some(ts) => Ok(theorem3_exact(server, &ts, MAX_HYPER)?.is_schedulable()),
+            None => Ok(false), // scaling pushed some C past its deadline
+        }
+    };
+    if !passes(1000)? {
+        return Ok(0);
+    }
+    let (mut lo, mut hi) = (1000u64, 8000u64); // invariant: lo passes
+    if passes(hi)? {
+        return Ok(hi);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if passes(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// The largest WCET `C` such that adding a new implicit-deadline task
+/// `(period, C)` to `tasks` keeps the VM schedulable on `server`.
+///
+/// Returns 0 when not even `C = 1` fits.
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] from the exact test.
+pub fn max_admissible_wcet(
+    server: &PeriodicServer,
+    tasks: &TaskSet,
+    period: u64,
+) -> Result<u64, SchedError> {
+    let passes = |wcet: u64| -> Result<bool, SchedError> {
+        let mut ts = tasks.clone();
+        match SporadicTask::implicit(period, wcet) {
+            Ok(t) => {
+                ts.push(t);
+                Ok(theorem3_exact(server, &ts, MAX_HYPER)?.is_schedulable())
+            }
+            Err(_) => Ok(false),
+        }
+    };
+    if !passes(1)? {
+        return Ok(0);
+    }
+    let (mut lo, mut hi) = (1u64, period); // lo passes
+    if passes(hi)? {
+        return Ok(hi);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if passes(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// Slack report for one VM: the headroom quantities a dashboard shows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmSlack {
+    /// Server bandwidth minus task utilization.
+    pub bandwidth_slack: f64,
+    /// Maximum uniform WCET scaling (per-mille) before a deadline breaks.
+    pub wcet_scale_permille: u64,
+    /// Largest admissible extra WCET at the VM's shortest period.
+    pub admissible_wcet_at_min_period: u64,
+}
+
+/// Computes the full slack report of one VM.
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] from the exact tests.
+pub fn vm_slack(server: &PeriodicServer, tasks: &TaskSet) -> Result<VmSlack, SchedError> {
+    let min_period = tasks.iter().map(SporadicTask::period).min().unwrap_or(server.period());
+    Ok(VmSlack {
+        bandwidth_slack: server.bandwidth() - tasks.utilization(),
+        wcet_scale_permille: max_wcet_scale_permille(server, tasks)?,
+        admissible_wcet_at_min_period: max_admissible_wcet(server, tasks, min_period)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(pi: u64, theta: u64) -> PeriodicServer {
+        PeriodicServer::new(pi, theta).unwrap()
+    }
+
+    fn task(t: u64, c: u64, d: u64) -> SporadicTask {
+        SporadicTask::new(t, c, d).unwrap()
+    }
+
+    #[test]
+    fn scale_is_maximal() {
+        let s = server(10, 5);
+        let ts: TaskSet = vec![task(40, 4, 40)].into();
+        let scale = max_wcet_scale_permille(&s, &ts).unwrap();
+        assert!(scale >= 1000);
+        // The found scale passes…
+        let c_pass = (4 * scale).div_ceil(1000);
+        let pass: TaskSet = vec![task(40, c_pass, 40)].into();
+        assert!(theorem3_exact(&s, &pass, 1 << 26).unwrap().is_schedulable());
+        // …and one more per-mille step fails (when below the ×8 cap).
+        if scale < 8000 {
+            let c_fail = (4 * (scale + 1)).div_ceil(1000);
+            if c_fail > c_pass {
+                let fail: TaskSet = vec![task(40, c_fail, 40)].into();
+                assert!(!theorem3_exact(&s, &fail, 1 << 26).unwrap().is_schedulable());
+            }
+        }
+    }
+
+    #[test]
+    fn unschedulable_set_has_zero_scale() {
+        let s = server(10, 2);
+        let ts: TaskSet = vec![task(10, 5, 10)].into();
+        assert_eq!(max_wcet_scale_permille(&s, &ts).unwrap(), 0);
+    }
+
+    #[test]
+    fn light_set_hits_the_cap() {
+        let s = server(4, 4); // dedicated processor
+        let ts: TaskSet = vec![task(1000, 1, 1000)].into();
+        assert_eq!(max_wcet_scale_permille(&s, &ts).unwrap(), 8000);
+    }
+
+    #[test]
+    fn admissible_wcet_is_maximal() {
+        let s = server(10, 5);
+        let ts: TaskSet = vec![task(40, 4, 40)].into();
+        let c = max_admissible_wcet(&s, &ts, 40).unwrap();
+        assert!(c >= 1);
+        let mut pass = ts.clone();
+        pass.push(task(40, c, 40));
+        assert!(theorem3_exact(&s, &pass, 1 << 26).unwrap().is_schedulable());
+        let mut fail = ts.clone();
+        fail.push(task(40, (c + 1).min(40), 40));
+        if c + 1 <= 40 {
+            assert!(!theorem3_exact(&s, &fail, 1 << 26).unwrap().is_schedulable());
+        }
+    }
+
+    #[test]
+    fn saturated_vm_admits_nothing() {
+        let s = server(4, 2);
+        let ts: TaskSet = vec![task(4, 2, 4)].into();
+        assert_eq!(max_admissible_wcet(&s, &ts, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_vm_admits_up_to_supply() {
+        let s = server(4, 2);
+        let c = max_admissible_wcet(&s, &TaskSet::new(), 8).unwrap();
+        // Supply over one period of 8: 2 budgets of 2 = 4 slots, minus the
+        // periodic-resource worst-case gap; the exact value must pass.
+        assert!(c >= 2, "got {c}");
+        let one: TaskSet = vec![task(8, c, 8)].into();
+        assert!(theorem3_exact(&s, &one, 1 << 26).unwrap().is_schedulable());
+    }
+
+    #[test]
+    fn slack_report_is_consistent() {
+        let s = server(10, 5);
+        let ts: TaskSet = vec![task(50, 5, 50), task(100, 10, 100)].into();
+        let slack = vm_slack(&s, &ts).unwrap();
+        assert!((slack.bandwidth_slack - 0.3).abs() < 1e-12);
+        assert!(slack.wcet_scale_permille >= 1000);
+        assert!(slack.admissible_wcet_at_min_period >= 1);
+        // More load → less headroom, monotone.
+        let heavier: TaskSet = vec![task(50, 10, 50), task(100, 10, 100)].into();
+        let slack2 = vm_slack(&s, &heavier).unwrap();
+        assert!(slack2.wcet_scale_permille <= slack.wcet_scale_permille);
+        assert!(
+            slack2.admissible_wcet_at_min_period <= slack.admissible_wcet_at_min_period
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Property-based tests for the schedulability theory.
+//!
+//! The central soundness property: whenever the analysis declares a system
+//! schedulable, the slot-level EDF reference simulator must observe zero
+//! deadline misses for *any* legal release pattern.
+
+use proptest::prelude::*;
+
+use ioguard_sched::demand::{dbf_server, dbf_task, dbf_tasks, sbf_server};
+use ioguard_sched::edfsim::{
+    simulate_edf, simulate_server_allocation, simulate_two_layer, sporadic_releases,
+    synchronous_releases,
+};
+use ioguard_sched::gsched::{theorem1_exact, theorem2_pseudo_poly};
+use ioguard_sched::lsched::{theorem3_exact, theorem4_pseudo_poly};
+use ioguard_sched::table::TimeSlotTable;
+use ioguard_sched::task::{PeriodicServer, SporadicTask, TaskSet};
+use ioguard_sched::SchedError;
+
+/// Strategy: a random sporadic task with small parameters.
+fn arb_task() -> impl Strategy<Value = SporadicTask> {
+    (2u64..=24, 1u64..=4).prop_flat_map(|(period, wcet)| {
+        let wcet = wcet.min(period);
+        (Just(period), Just(wcet), wcet..=period)
+            .prop_map(|(t, c, d)| SporadicTask::new(t, c, d).expect("constrained by strategy"))
+    })
+}
+
+fn arb_task_set(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(arb_task(), 1..=max_tasks).prop_map(TaskSet::from)
+}
+
+fn arb_server() -> impl Strategy<Value = PeriodicServer> {
+    (2u64..=16).prop_flat_map(|pi| {
+        (Just(pi), 1u64..=pi)
+            .prop_map(|(pi, theta)| PeriodicServer::new(pi, theta).expect("Θ ≤ Π by strategy"))
+    })
+}
+
+fn arb_table() -> impl Strategy<Value = TimeSlotTable> {
+    (2u64..=16).prop_flat_map(|h| {
+        prop::collection::vec(any::<bool>(), h as usize)
+            .prop_map(|mask| TimeSlotTable::from_mask(mask).expect("non-empty"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// sbf(σ, ·) is non-decreasing and gains at most 1 per slot.
+    #[test]
+    fn sbf_sigma_is_monotone_lipschitz(table in arb_table()) {
+        let mut prev = 0;
+        for t in 0..4 * table.len() {
+            let v = table.sbf(t);
+            prop_assert!(v >= prev);
+            prop_assert!(v <= prev + 1);
+            prev = v;
+        }
+    }
+
+    /// Eq. 2 consistency: sbf over k full periods is exactly k·F more than
+    /// the base window.
+    #[test]
+    fn sbf_sigma_periodic_increment(table in arb_table(), t in 0u64..16, k in 1u64..4) {
+        let h = table.len();
+        prop_assert_eq!(
+            table.sbf(t + k * h),
+            table.sbf(t) + k * table.free_slots()
+        );
+    }
+
+    /// sbf(σ, t) lower-bounds the supply of every concrete window.
+    #[test]
+    fn sbf_sigma_is_a_lower_bound(table in arb_table(), start in 0u64..64, len in 0u64..64) {
+        prop_assert!(table.sbf(len) <= table.supply_in_window(start, len));
+    }
+
+    /// Eq. 8's supply bound never exceeds the slot count and is monotone.
+    #[test]
+    fn sbf_server_bounded_and_monotone(server in arb_server()) {
+        let mut prev = 0;
+        for t in 0..6 * server.period() {
+            let v = sbf_server(&server, t);
+            prop_assert!(v <= t);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// dbf of servers and tasks grow asymptotically at their bandwidth.
+    #[test]
+    fn dbf_rates_match_bandwidth(server in arb_server(), task in arb_task()) {
+        let t = 1_000_000;
+        let server_rate = dbf_server(&server, t) as f64 / t as f64;
+        prop_assert!((server_rate - server.bandwidth()).abs() < 1e-2);
+        let task_rate = dbf_task(&task, t) as f64 / t as f64;
+        prop_assert!((task_rate - task.utilization()).abs() < 1e-2);
+    }
+
+    /// Soundness of Theorem 1: schedulable ⇒ the G-Sched EDF simulation
+    /// grants every server its full budget in every period.
+    #[test]
+    fn theorem1_sound_against_simulation(
+        table in arb_table(),
+        servers in prop::collection::vec(arb_server(), 1..=3),
+    ) {
+        let verdict = theorem1_exact(&table, &servers, 1 << 24).unwrap();
+        if verdict.is_schedulable() {
+            let horizon = 64 * servers.iter().map(|s| s.period()).max().unwrap()
+                .max(table.len());
+            let owners = simulate_server_allocation(&table, &servers, horizon);
+            for (i, server) in servers.iter().enumerate() {
+                let mut k = 0;
+                while (k + 1) * server.period() <= horizon {
+                    let window =
+                        &owners[(k * server.period()) as usize..((k + 1) * server.period()) as usize];
+                    let granted = window.iter().filter(|o| **o == Some(i)).count() as u64;
+                    prop_assert!(
+                        granted >= server.budget(),
+                        "server {i} got {granted} < Θ = {} in period {k}",
+                        server.budget()
+                    );
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// Agreement: Theorem 2 (when applicable) matches Theorem 1.
+    #[test]
+    fn theorem2_agrees_with_theorem1(
+        table in arb_table(),
+        servers in prop::collection::vec(arb_server(), 1..=3),
+    ) {
+        let exact = theorem1_exact(&table, &servers, 1 << 24).unwrap();
+        match theorem2_pseudo_poly(&table, &servers, 0.005) {
+            Ok(pseudo) => prop_assert_eq!(exact.is_schedulable(), pseudo.is_schedulable()),
+            Err(SchedError::SlackTooSmall { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+        }
+    }
+
+    /// Soundness of Theorem 3: schedulable ⇒ zero misses under the
+    /// synchronous (critical instant) release pattern on the worst-case
+    /// periodic-resource supply.
+    #[test]
+    fn theorem3_sound_against_simulation(
+        server in arb_server(),
+        tasks in arb_task_set(3),
+    ) {
+        let verdict = theorem3_exact(&server, &tasks, 1 << 24).unwrap();
+        if verdict.is_schedulable() {
+            // Worst-case supply: budget early in period 0, late afterwards —
+            // the canonical periodic-resource adversary.
+            let pi = server.period();
+            let theta = server.budget();
+            let horizon = 2048;
+            let supply = |t: u64| {
+                if t < pi {
+                    t < theta
+                } else {
+                    t % pi >= pi - theta
+                }
+            };
+            let jobs = synchronous_releases(&tasks, horizon);
+            let report = simulate_edf(&jobs, supply, horizon);
+            prop_assert!(
+                report.all_deadlines_met(),
+                "analysis said schedulable but sim missed {} (server {server:?}, tasks {tasks:?})",
+                report.missed
+            );
+        }
+    }
+
+    /// Agreement: Theorem 4 (when applicable) matches Theorem 3.
+    #[test]
+    fn theorem4_agrees_with_theorem3(
+        server in arb_server(),
+        tasks in arb_task_set(3),
+    ) {
+        let exact = theorem3_exact(&server, &tasks, 1 << 24).unwrap();
+        match theorem4_pseudo_poly(&server, &tasks, 0.005) {
+            Ok(pseudo) => prop_assert_eq!(exact.is_schedulable(), pseudo.is_schedulable()),
+            Err(SchedError::SlackTooSmall { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+        }
+    }
+
+    /// End-to-end: a fully analyzed two-layer system never misses in the
+    /// composed simulation, under synchronous and sporadic patterns.
+    #[test]
+    fn two_layer_analysis_sound(
+        table in arb_table(),
+        servers in prop::collection::vec(arb_server(), 1..=2),
+        seed in any::<u64>(),
+    ) {
+        // Derive task sets that fit their servers loosely (half bandwidth).
+        let task_sets: Vec<TaskSet> = servers
+            .iter()
+            .map(|s| {
+                let period = 8 * s.period();
+                let wcet = (s.budget() * 2).max(1);
+                TaskSet::from(vec![
+                    SporadicTask::new(period, wcet.min(period), period).expect("fits"),
+                ])
+            })
+            .collect();
+        let global = theorem1_exact(&table, &servers, 1 << 24).unwrap();
+        let locals: Vec<bool> = servers
+            .iter()
+            .zip(&task_sets)
+            .map(|(s, ts)| theorem3_exact(s, ts, 1 << 24).unwrap().is_schedulable())
+            .collect();
+        if global.is_schedulable() && locals.iter().all(|&b| b) {
+            let horizon = 2048;
+            let traces: Vec<_> = task_sets
+                .iter()
+                .enumerate()
+                .map(|(i, ts)| {
+                    if seed % 2 == 0 {
+                        synchronous_releases(ts, horizon)
+                    } else {
+                        sporadic_releases(ts, horizon, seed ^ i as u64)
+                    }
+                })
+                .collect();
+            let reports = simulate_two_layer(&table, &servers, &traces, horizon);
+            for (vm, report) in reports.iter().enumerate() {
+                prop_assert!(
+                    report.all_deadlines_met(),
+                    "vm {vm} missed {} deadlines", report.missed
+                );
+            }
+        }
+    }
+
+    /// dbf is superadditive-ish sanity: demand over a longer window never
+    /// decreases.
+    #[test]
+    fn dbf_tasks_monotone(tasks in arb_task_set(4)) {
+        let mut prev = 0;
+        for t in 0..256 {
+            let v = dbf_tasks(&tasks, t);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the sensitivity analysis.
+
+use proptest::prelude::*;
+
+use ioguard_sched::lsched::theorem3_exact;
+use ioguard_sched::sensitivity::{max_admissible_wcet, max_wcet_scale_permille, vm_slack};
+use ioguard_sched::task::{PeriodicServer, SporadicTask, TaskSet};
+
+fn arb_server() -> impl Strategy<Value = PeriodicServer> {
+    (2u64..=12).prop_flat_map(|pi| {
+        (Just(pi), 1u64..=pi).prop_map(|(pi, theta)| PeriodicServer::new(pi, theta).expect("valid"))
+    })
+}
+
+fn arb_tasks() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(
+        (8u64..=48, 1u64..=3).prop_map(|(t, c)| SporadicTask::implicit(t, c).expect("valid")),
+        1..=3,
+    )
+    .prop_map(TaskSet::from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The reported scale passes the exact test, and (below the cap) one
+    /// more WCET unit on some task fails it — maximality.
+    #[test]
+    fn wcet_scale_is_sound(server in arb_server(), tasks in arb_tasks()) {
+        let scale = max_wcet_scale_permille(&server, &tasks).unwrap();
+        if scale == 0 {
+            prop_assert!(!theorem3_exact(&server, &tasks, 1 << 26).unwrap().is_schedulable());
+            return Ok(());
+        }
+        let scaled: TaskSet = tasks
+            .iter()
+            .filter_map(|t| {
+                let wcet = (t.wcet() * scale).div_ceil(1000).max(1);
+                SporadicTask::new(t.period(), wcet, t.deadline()).ok()
+            })
+            .collect();
+        prop_assert_eq!(scaled.len(), tasks.len(), "scaling stays feasible");
+        prop_assert!(theorem3_exact(&server, &scaled, 1 << 26).unwrap().is_schedulable());
+    }
+
+    /// Admissible-WCET soundness and maximality.
+    #[test]
+    fn admissible_wcet_is_sound(server in arb_server(), tasks in arb_tasks(), period in 8u64..64) {
+        let c = max_admissible_wcet(&server, &tasks, period).unwrap();
+        if c > 0 {
+            let mut with = tasks.clone();
+            with.push(SporadicTask::implicit(period, c).expect("c ≤ period by search"));
+            prop_assert!(theorem3_exact(&server, &with, 1 << 26).unwrap().is_schedulable());
+        }
+        if c < period {
+            let mut beyond = tasks.clone();
+            beyond.push(SporadicTask::implicit(period, c + 1).expect("still ≤ period"));
+            prop_assert!(!theorem3_exact(&server, &beyond, 1 << 26).unwrap().is_schedulable());
+        }
+    }
+
+    /// Headroom is monotone: removing a task never shrinks any slack
+    /// metric.
+    #[test]
+    fn slack_monotone_under_task_removal(server in arb_server(), tasks in arb_tasks()) {
+        if tasks.len() < 2 {
+            return Ok(());
+        }
+        let full = vm_slack(&server, &tasks).unwrap();
+        let reduced: TaskSet = tasks.iter().skip(1).copied().collect();
+        let lighter = vm_slack(&server, &reduced).unwrap();
+        prop_assert!(lighter.bandwidth_slack >= full.bandwidth_slack - 1e-12);
+        prop_assert!(lighter.wcet_scale_permille >= full.wcet_scale_permille);
+    }
+}

@@ -1,0 +1,309 @@
+//! Deterministic event queue and simulation driver.
+//!
+//! The queue orders events by `(time, sequence)` so that two events scheduled
+//! for the same instant pop in insertion order — the determinism the paper's
+//! synchronous hardware gets from its single global timer.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycles;
+
+/// A time-ordered, insertion-stable event queue.
+///
+/// # Example
+///
+/// ```
+/// use ioguard_sim::events::EventQueue;
+/// use ioguard_sim::time::Cycles;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycles::new(3), "b");
+/// q.push(Cycles::new(3), "c"); // same time: pops after "b"
+/// q.push(Cycles::new(1), "a");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: Cycles,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: Cycles, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, ties broken by insertion
+    /// order. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Outcome of handling one event: schedule follow-ups or stop the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step<E> {
+    /// Continue, scheduling these follow-up events (possibly none).
+    Continue(Vec<(Cycles, E)>),
+    /// Stop the simulation immediately.
+    Halt,
+}
+
+/// A minimal event-driven simulator: pops events in time order and hands them
+/// to a handler until the queue drains, a horizon passes, or the handler
+/// halts.
+///
+/// The NoC and hypervisor models use their own specialized stepping loops for
+/// speed; `Simulator` is the generic fallback used by tests and examples.
+#[derive(Debug)]
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: Cycles,
+}
+
+impl<E> Simulator<E> {
+    /// Creates a simulator starting at time zero.
+    pub fn new() -> Self {
+        Self {
+            queue: EventQueue::new(),
+            now: Cycles::ZERO,
+        }
+    }
+
+    /// Current simulation time (the time of the last handled event).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past — discrete-event causality must hold.
+    pub fn schedule(&mut self, time: Cycles, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {}",
+            self.now
+        );
+        self.queue.push(time, event);
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Cycles, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Runs until the queue drains, `horizon` is reached (events at times
+    /// strictly greater than `horizon` are left unpopped), or the handler
+    /// returns [`Step::Halt`]. Returns the number of events handled.
+    pub fn run_until<F>(&mut self, horizon: Cycles, mut handler: F) -> u64
+    where
+        F: FnMut(Cycles, E) -> Step<E>,
+    {
+        let mut handled = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (time, event) = self.queue.pop().expect("peeked entry exists");
+            self.now = time;
+            handled += 1;
+            match handler(time, event) {
+                Step::Continue(follow_ups) => {
+                    for (ft, fe) in follow_ups {
+                        self.schedule(ft, fe);
+                    }
+                }
+                Step::Halt => break,
+            }
+        }
+        handled
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(30), 3);
+        q.push(Cycles::new(10), 1);
+        q.push(Cycles::new(20), 2);
+        assert_eq!(q.pop(), Some((Cycles::new(10), 1)));
+        assert_eq!(q.pop(), Some((Cycles::new(20), 2)));
+        assert_eq!(q.pop(), Some((Cycles::new(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycles::new(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycles::new(5), i)));
+        }
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycles::new(9), ());
+        q.push(Cycles::new(4), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycles::new(4)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn simulator_runs_chained_events() {
+        // A self-re-scheduling "timer tick" event: each tick schedules the
+        // next one 10 cycles later; count ticks within the horizon.
+        let mut sim = Simulator::new();
+        sim.schedule(Cycles::new(0), "tick");
+        let mut ticks = 0;
+        sim.run_until(Cycles::new(95), |t, _| {
+            ticks += 1;
+            Step::Continue(vec![(t + Cycles::new(10), "tick")])
+        });
+        assert_eq!(ticks, 10); // t = 0,10,…,90
+        assert_eq!(sim.now(), Cycles::new(90));
+        assert_eq!(sim.pending(), 1); // t=100 is beyond the horizon
+    }
+
+    #[test]
+    fn simulator_halts_on_request() {
+        let mut sim = Simulator::new();
+        for i in 0..10 {
+            sim.schedule(Cycles::new(i), i);
+        }
+        let mut seen = Vec::new();
+        let handled = sim.run_until(Cycles::new(100), |_, e| {
+            seen.push(e);
+            if e == 4 {
+                Step::Halt
+            } else {
+                Step::Continue(vec![])
+            }
+        });
+        assert_eq!(handled, 5);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sim.pending(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn simulator_rejects_past_events() {
+        let mut sim = Simulator::new();
+        sim.schedule(Cycles::new(10), ());
+        sim.run_until(Cycles::new(10), |_, _| Step::Continue(vec![]));
+        sim.schedule(Cycles::new(5), ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut sim = Simulator::new();
+        sim.schedule(Cycles::new(7), "seed");
+        let mut times = Vec::new();
+        sim.run_until(Cycles::new(20), |t, e| {
+            times.push(t);
+            if e == "seed" {
+                // schedule_in is not available inside the closure (no &mut
+                // sim), so mimic with a returned follow-up at t + 5.
+                Step::Continue(vec![(t + Cycles::new(5), "rel")])
+            } else {
+                Step::Continue(vec![])
+            }
+        });
+        assert_eq!(times, vec![Cycles::new(7), Cycles::new(12)]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Bounded execution traces.
+//!
+//! A [`TraceBuffer`] is a fixed-capacity ring that records the most recent
+//! simulation events (task releases, preemptions, completions, deadline
+//! misses). It is how the examples show *why* a trial failed, and how the
+//! integration tests assert ordering properties of the schedulers without
+//! instrumenting their internals.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Slots;
+
+/// Category of a traced scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A job was released (arrived at its I/O pool or channel).
+    Release,
+    /// A job started or resumed execution on the device.
+    Dispatch,
+    /// A running job was preempted by a higher-priority one.
+    Preempt,
+    /// A job finished all its slots.
+    Complete,
+    /// A job's deadline passed before completion.
+    DeadlineMiss,
+    /// A P-channel table entry fired.
+    TableFire,
+    /// Free-form marker emitted by a model.
+    Marker,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::Release => "release",
+            TraceKind::Dispatch => "dispatch",
+            TraceKind::Preempt => "preempt",
+            TraceKind::Complete => "complete",
+            TraceKind::DeadlineMiss => "deadline-miss",
+            TraceKind::TableFire => "table-fire",
+            TraceKind::Marker => "marker",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Slot at which the event occurred.
+    pub at: Slots,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Which VM the event belongs to (`u32::MAX` for system-level events).
+    pub vm: u32,
+    /// Which task/job the event belongs to (model-defined id).
+    pub task: u32,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} vm={} task={}",
+            self.at, self.kind, self.vm, self.task
+        )
+    }
+}
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s.
+///
+/// When full, recording a new event evicts the oldest one — traces never grow
+/// unbounded even in 100-second trials. A capacity of zero disables tracing
+/// entirely (all records become no-ops), which is the case-study default.
+///
+/// # Example
+///
+/// ```
+/// use ioguard_sim::time::Slots;
+/// use ioguard_sim::trace::{TraceBuffer, TraceKind};
+///
+/// let mut trace = TraceBuffer::new(2);
+/// trace.record(Slots::new(1), TraceKind::Release, 0, 7);
+/// trace.record(Slots::new(2), TraceKind::Dispatch, 0, 7);
+/// trace.record(Slots::new(3), TraceKind::Complete, 0, 7); // evicts slot 1
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.iter().next().unwrap().at, Slots::new(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceBuffer {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a trace ring holding at most `capacity` events. `capacity` of
+    /// zero disables tracing.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Creates a disabled trace buffer (all records ignored).
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// True when this buffer ignores all records.
+    pub fn is_disabled(&self) -> bool {
+        self.capacity == 0
+    }
+
+    /// Records an event, evicting the oldest if at capacity.
+    pub fn record(&mut self, at: Slots, kind: TraceKind, vm: u32, task: u32) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { at, kind, vm, task });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted or ignored so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained events from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Retained events of a given kind, oldest first.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Clears all retained events (the drop counter is preserved).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_iterates_in_order() {
+        let mut t = TraceBuffer::new(10);
+        for i in 0..5 {
+            t.record(Slots::new(i), TraceKind::Release, 0, i as u32);
+        }
+        let times: Vec<u64> = t.iter().map(|e| e.at.raw()).collect();
+        assert_eq!(times, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5 {
+            t.record(Slots::new(i), TraceKind::Dispatch, 1, 1);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let times: Vec<u64> = t.iter().map(|e| e.at.raw()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn disabled_buffer_ignores_everything() {
+        let mut t = TraceBuffer::disabled();
+        assert!(t.is_disabled());
+        t.record(Slots::new(1), TraceKind::Complete, 0, 0);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn filters_by_kind() {
+        let mut t = TraceBuffer::new(10);
+        t.record(Slots::new(1), TraceKind::Release, 0, 1);
+        t.record(Slots::new(2), TraceKind::DeadlineMiss, 0, 1);
+        t.record(Slots::new(3), TraceKind::Release, 0, 2);
+        assert_eq!(t.of_kind(TraceKind::Release).count(), 2);
+        assert_eq!(t.of_kind(TraceKind::DeadlineMiss).count(), 1);
+        assert_eq!(t.of_kind(TraceKind::Preempt).count(), 0);
+    }
+
+    #[test]
+    fn clear_preserves_drop_count() {
+        let mut t = TraceBuffer::new(1);
+        t.record(Slots::new(1), TraceKind::Marker, 0, 0);
+        t.record(Slots::new(2), TraceKind::Marker, 0, 0);
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent {
+            at: Slots::new(5),
+            kind: TraceKind::Preempt,
+            vm: 2,
+            task: 9,
+        };
+        assert_eq!(e.to_string(), "[5 slot] preempt vm=2 task=9");
+        assert_eq!(TraceKind::TableFire.to_string(), "table-fire");
+    }
+}

@@ -1,0 +1,115 @@
+//! UUniFast utilization sampling (Bini & Buttazzo 2005).
+//!
+//! Used to split the synthetic filler utilization across an arbitrary
+//! number of tasks with an unbiased uniform distribution over the
+//! utilization simplex.
+
+use ioguard_sim::rng::Xoshiro256StarStar;
+
+/// Draws `n` task utilizations summing to `total` with the UUniFast
+/// algorithm.
+///
+/// Returns an empty vector when `n == 0`. Values can be arbitrarily small
+/// but never negative; their sum equals `total` up to floating-point error.
+///
+/// # Panics
+///
+/// Panics if `total` is negative or not finite.
+///
+/// # Example
+///
+/// ```
+/// use ioguard_sim::rng::Xoshiro256StarStar;
+/// use ioguard_workload::uunifast::uunifast;
+///
+/// let mut rng = Xoshiro256StarStar::new(7);
+/// let utils = uunifast(&mut rng, 5, 0.8);
+/// assert_eq!(utils.len(), 5);
+/// let sum: f64 = utils.iter().sum();
+/// assert!((sum - 0.8).abs() < 1e-9);
+/// ```
+pub fn uunifast(rng: &mut Xoshiro256StarStar, n: usize, total: f64) -> Vec<f64> {
+    assert!(total.is_finite() && total >= 0.0, "total must be ≥ 0");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut utils = Vec::with_capacity(n);
+    let mut remaining = total;
+    for i in 1..n {
+        let exponent = 1.0 / (n - i) as f64;
+        let next = remaining * rng.next_f64().powf(exponent);
+        utils.push(remaining - next);
+        remaining = next;
+    }
+    utils.push(remaining);
+    utils
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_to_total() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        for n in [1, 2, 5, 17, 100] {
+            for total in [0.1, 0.5, 1.0, 3.0] {
+                let u = uunifast(&mut rng, n, total);
+                assert_eq!(u.len(), n);
+                let sum: f64 = u.iter().sum();
+                assert!((sum - total).abs() < 1e-9, "n={n} total={total} sum={sum}");
+                assert!(u.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tasks_and_zero_total() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        assert!(uunifast(&mut rng, 0, 0.5).is_empty());
+        let u = uunifast(&mut rng, 3, 0.0);
+        assert!(u.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        assert_eq!(uunifast(&mut rng, 1, 0.75), vec![0.75]);
+    }
+
+    #[test]
+    fn distribution_is_roughly_symmetric() {
+        // Over many draws each of the n positions must receive total/n on
+        // average (UUniFast is exchangeable).
+        let mut rng = Xoshiro256StarStar::new(4);
+        let n = 4;
+        let draws = 20_000;
+        let mut sums = vec![0.0; n];
+        for _ in 0..draws {
+            for (i, u) in uunifast(&mut rng, n, 1.0).into_iter().enumerate() {
+                sums[i] += u;
+            }
+        }
+        for (i, s) in sums.iter().enumerate() {
+            let mean = s / draws as f64;
+            assert!(
+                (mean - 0.25).abs() < 0.01,
+                "position {i}: mean {mean:.4} should be ~0.25"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = uunifast(&mut Xoshiro256StarStar::new(9), 6, 0.9);
+        let b = uunifast(&mut Xoshiro256StarStar::new(9), 6, 0.9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn negative_total_panics() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let _ = uunifast(&mut rng, 2, -1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for workload generation.
+
+use proptest::prelude::*;
+
+use ioguard_workload::generator::{TrialConfig, TrialWorkload};
+use ioguard_workload::suites::TaskCategory;
+use ioguard_workload::uunifast::uunifast;
+use ioguard_sim::rng::Xoshiro256StarStar;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// UUniFast always returns non-negative utilizations summing to the
+    /// requested total.
+    #[test]
+    fn uunifast_simplex(n in 1usize..40, total in 0.0f64..4.0, seed in any::<u64>()) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let utils = uunifast(&mut rng, n, total);
+        prop_assert_eq!(utils.len(), n);
+        prop_assert!(utils.iter().all(|&u| u >= 0.0));
+        let sum: f64 = utils.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-9);
+    }
+
+    /// Trial generation invariants: every task is feasible (C ≤ D ≤ T),
+    /// every task lands in a valid VM, the 40-task base suite is always
+    /// present, and total utilization tracks the target.
+    #[test]
+    fn trial_invariants(vms in 1usize..=8, target in 0.45f64..1.05, seed in any::<u64>()) {
+        let w = TrialWorkload::generate(&TrialConfig::new(vms, target, seed));
+        let critical = w
+            .tasks()
+            .iter()
+            .filter(|t| t.category != TaskCategory::Synthetic)
+            .count();
+        prop_assert_eq!(critical, 40, "base suite always complete");
+        for t in w.tasks() {
+            prop_assert!(t.vm < vms);
+            prop_assert!(t.task.wcet() >= 1);
+            prop_assert!(t.task.wcet() <= t.task.deadline());
+            prop_assert!(t.task.deadline() <= t.task.period());
+            prop_assert!(t.request_bytes > 0);
+        }
+        let u = w.total_utilization();
+        prop_assert!((u - target).abs() < 0.10, "target {} sampled {}", target, u);
+    }
+
+    /// Determinism: the workload is a pure function of the config.
+    #[test]
+    fn trial_determinism(vms in 1usize..=8, seed in any::<u64>()) {
+        let c = TrialConfig::new(vms, 0.8, seed);
+        prop_assert_eq!(TrialWorkload::generate(&c), TrialWorkload::generate(&c));
+    }
+
+    /// split_preload is a partition for any fraction, and the pre-loaded
+    /// share of utilization tracks the fraction.
+    #[test]
+    fn preload_partition(frac in 0.0f64..=1.0, seed in any::<u64>()) {
+        let w = TrialWorkload::generate(&TrialConfig::new(4, 0.9, seed));
+        let (pre, run) = w.split_preload(frac);
+        prop_assert_eq!(pre.len() + run.len(), w.tasks().len());
+        // No duplicates across the partition.
+        let mut names: Vec<&str> = pre
+            .iter()
+            .chain(run.iter())
+            .map(|t| t.name.as_str())
+            .collect();
+        names.sort_unstable();
+        let total = names.len();
+        names.dedup();
+        prop_assert_eq!(names.len(), total);
+        // Utilization proportionality (loose, stride-sampled).
+        if (0.2..=0.9).contains(&frac) {
+            let pre_u: f64 = pre.iter().map(|t| t.task.utilization()).sum();
+            let share = pre_u / w.total_utilization();
+            prop_assert!((share - frac).abs() < 0.2, "frac {} share {}", frac, share);
+        }
+    }
+
+    /// VM task-set partition matches the flat task list.
+    #[test]
+    fn vm_partition_consistent(vms in 1usize..=8, seed in any::<u64>()) {
+        let w = TrialWorkload::generate(&TrialConfig::new(vms, 0.7, seed));
+        let sets = w.vm_task_sets();
+        prop_assert_eq!(sets.len(), vms);
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, w.tasks().len());
+        let util_sets: f64 = sets.iter().map(|s| s.utilization()).sum();
+        prop_assert!((util_sets - w.total_utilization()).abs() < 1e-9);
+    }
+}

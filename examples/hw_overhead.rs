@@ -1,0 +1,54 @@
+//! Hardware and software overhead (Table I and Fig. 6).
+//!
+//! Run with: `cargo run --example hw_overhead`
+
+use ioguard_core::experiments::{fig6_report, table1_report};
+use ioguard_hw::blocks::HypervisorConfig;
+use ioguard_hw::reference;
+use ioguard_rtos::path::render_fig3;
+
+fn main() {
+    println!("Fig. 3 — software i/o paths (per-operation software cost)");
+    println!("=========================================================");
+    println!("{}", render_fig3(256));
+
+    println!("Fig. 6 — run-time software overhead (KB)");
+    println!("=========================================");
+    println!("{}", fig6_report());
+
+    println!("Table I — hardware overhead (implemented on FPGA)");
+    println!("=================================================");
+    println!("{}", table1_report());
+
+    // The per-block breakdown behind the "Proposed" row.
+    let cfg = HypervisorConfig::paper_table1();
+    println!("composition of the Proposed row ({} VMs × {} I/Os):", cfg.vms, cfg.ios);
+    let rows = [
+        ("one I/O pool", cfg.io_pool_cost()),
+        ("G-Sched", cfg.gsched_cost()),
+        ("P-channel", cfg.pchannel_cost()),
+        ("R-executor", cfg.rexecutor_cost()),
+        ("virtualization driver", cfg.driver_cost()),
+        ("one full group", cfg.group_cost()),
+    ];
+    for (name, c) in rows {
+        println!(
+            "  {:<22} {:>5} LUTs  {:>5} regs  {:>3} KB BRAM",
+            name, c.luts, c.registers, c.bram_kb
+        );
+    }
+
+    let proposed = cfg.cost();
+    println!(
+        "\nProposed vs MicroBlaze: {:.1}% LUTs, {:.1}% registers, {:.1}% power",
+        100.0 * proposed.luts as f64 / reference::MICROBLAZE.luts as f64,
+        100.0 * proposed.registers as f64 / reference::MICROBLAZE.registers as f64,
+        100.0 * proposed.power_mw as f64 / reference::MICROBLAZE.power_mw as f64,
+    );
+    println!(
+        "Proposed vs RISC-V    : {:.1}% LUTs, {:.1}% registers, {:.1}% power",
+        100.0 * proposed.luts as f64 / reference::RISCV_OOO.luts as f64,
+        100.0 * proposed.registers as f64 / reference::RISCV_OOO.registers as f64,
+        100.0 * proposed.power_mw as f64 / reference::RISCV_OOO.power_mw as f64,
+    );
+}

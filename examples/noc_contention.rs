@@ -1,0 +1,76 @@
+//! The NoC substrate: packet latency under growing contention on the
+//! paper's 5×5 mesh — the Fig. 1 mechanism that motivates connecting the
+//! hypervisor directly to processors and I/Os.
+//!
+//! Run with: `cargo run --release --example noc_contention`
+
+use ioguard_noc::network::{Network, NetworkConfig};
+use ioguard_noc::packet::Packet;
+use ioguard_noc::topology::NodeId;
+use ioguard_sim::stats::OnlineStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("5x5 mesh, XY routing, wormhole switching, round-robin arbiters\n");
+
+    // A probe flow crossing the middle row, with 0..8 competing flows.
+    println!("{:<12} {:>12} {:>12} {:>14}", "competitors", "probe lat", "mean lat", "contention cyc");
+    for competitors in [0usize, 1, 2, 4, 8] {
+        let mut net = Network::new(NetworkConfig::paper_platform())?;
+        net.inject(Packet::request(1, NodeId::new(0, 2), NodeId::new(4, 2), 8)?)?;
+        for i in 0..competitors as u64 {
+            // Flows from the corners toward the same column-4 destinations.
+            let src = NodeId::new((i % 3) as u16, (i % 5) as u16);
+            let dst = NodeId::new(4, ((i + 2) % 5) as u16);
+            net.inject(Packet::request(100 + i, src, dst, 8)?)?;
+        }
+        let out = net.run_until_idle(100_000);
+        let probe = out
+            .iter()
+            .find(|d| d.packet.id() == 1)
+            .expect("probe always delivered");
+        let mut all = OnlineStats::new();
+        for d in &out {
+            all.push(d.latency().raw() as f64);
+        }
+        println!(
+            "{:<12} {:>9} cyc {:>9.1} cyc {:>14}",
+            competitors,
+            probe.latency().raw(),
+            all.mean(),
+            net.stats().contention_cycles
+        );
+    }
+
+    // Saturation sweep: all-to-one hotspot traffic.
+    println!("\nhotspot (all nodes → center), packets per node:");
+    println!("{:<10} {:>12} {:>12}", "load", "p(mean) cyc", "max cyc");
+    for per_node in [1u32, 2, 4] {
+        let mut net = Network::new(NetworkConfig::paper_platform())?;
+        let mut id = 0;
+        for node in net.mesh().iter_nodes().collect::<Vec<_>>() {
+            if node == NodeId::new(2, 2) {
+                continue;
+            }
+            for _ in 0..per_node {
+                id += 1;
+                net.inject(Packet::request(id, node, NodeId::new(2, 2), 4)?)?;
+            }
+        }
+        let out = net.run_until_idle(1_000_000);
+        let mut stats = OnlineStats::new();
+        for d in &out {
+            stats.push(d.latency().raw() as f64);
+        }
+        println!(
+            "{:<10} {:>12.1} {:>12.0}",
+            per_node,
+            stats.mean(),
+            stats.max().unwrap_or(0.0)
+        );
+    }
+    println!(
+        "\nLatency grows superlinearly toward the hotspot — the contention the\n\
+         I/O-GUARD architecture removes from the I/O path by construction."
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Predictability: response-latency distribution of a probe task competing
+//! with bulk background I/O, across all four channel disciplines.
+//!
+//! The heart of the paper's argument — FIFO I/O hardware cannot preempt, so
+//! a tight job stuck behind bulk transfers sees unbounded jitter; the
+//! random-access priority queues of I/O-GUARD bound it at the slot quantum.
+//!
+//! Run with: `cargo run --release --example predictability`
+
+use ioguard_core::predictability::{latency_profiles, PredictabilityConfig};
+
+fn main() {
+    let config = PredictabilityConfig::default();
+    println!("probe: period {} slots, wcet {} slots", config.probe_period, config.probe_wcet);
+    println!(
+        "background: {} bulk jobs of {} slots every {} slots\n",
+        config.background_tasks, config.background_wcet, config.background_period
+    );
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>8} {:>7}",
+        "system", "p50", "p99", "max", "spread", "missed"
+    );
+    let profiles = latency_profiles(&config);
+    for p in &profiles {
+        let bar = "#".repeat((p.spread() as usize).min(70));
+        println!(
+            "{:<14} {:>6.1} {:>6.1} {:>6.1} {:>8.1} {:>7}  {bar}",
+            p.system,
+            p.p50,
+            p.p99,
+            p.max,
+            p.spread(),
+            p.missed
+        );
+    }
+    let iog = profiles.last().expect("non-empty lineup");
+    println!(
+        "\nI/O-GUARD's p99-p50 spread ({:.1} slots) bounds the probe's jitter at the\n\
+         scheduling quantum; the FIFO systems' spread is head-of-line blocking.",
+        iog.spread()
+    );
+}

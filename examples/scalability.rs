@@ -1,0 +1,46 @@
+//! Scalability experiment (Fig. 8): area, power and maximum frequency of
+//! BS|Legacy vs I/O-GUARD as the VM count scales with η (#VMs = 2^η).
+//!
+//! Run with: `cargo run --example scalability [eta_max]`
+
+use ioguard_core::experiments::fig8_report;
+use ioguard_hw::scale::{fig8_sweep, ScalePoint};
+
+fn main() {
+    let eta_max: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    println!("Fig. 8 — scalability with η (#VMs = 2^η)");
+    println!("=========================================");
+    println!("{}", fig8_report(eta_max));
+
+    let points = fig8_sweep(eta_max);
+
+    println!("Obs. 5: area/power grow linearly; I/O-GUARD margin stays small:");
+    for p in points.iter().filter(|p| p.eta >= 1) {
+        let margin = (p.ioguard_area - p.legacy_area) / p.legacy_area * 100.0;
+        let bar = "#".repeat((p.ioguard_area * 200.0) as usize);
+        println!(
+            "  η = {}: +{margin:>4.1}% area  {bar}",
+            p.eta
+        );
+        assert!(margin < 20.0, "paper bound: margin < 20%");
+    }
+
+    println!("\nObs. 6: hypervisor fmax stays above the legacy routers:");
+    for ScalePoint {
+        eta,
+        legacy_fmax,
+        ioguard_fmax,
+        ..
+    } in &points
+    {
+        println!(
+            "  η = {eta}: hypervisor {:.0} MHz > legacy {:.0} MHz",
+            ioguard_fmax.0, legacy_fmax.0
+        );
+        assert!(ioguard_fmax.0 > legacy_fmax.0);
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration test host package for the I/O-GUARD workspace.

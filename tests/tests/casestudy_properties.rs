@@ -1,0 +1,92 @@
+//! Property-based tests for the case-study engine.
+
+use proptest::prelude::*;
+
+use ioguard_core::casestudy::{run_trial, SystemUnderTest};
+use ioguard_workload::generator::{TrialConfig, TrialWorkload};
+use ioguard_workload::suites::SLOT_MICROS;
+
+fn arb_system() -> impl Strategy<Value = SystemUnderTest> {
+    prop_oneof![
+        Just(SystemUnderTest::Legacy),
+        Just(SystemUnderTest::RtXen),
+        Just(SystemUnderTest::BlueVisor),
+        (0u8..=10).prop_map(|x| SystemUnderTest::IoGuard {
+            preload_pct: x * 10
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Trials are pure functions of (system, workload, seed, horizon).
+    #[test]
+    fn trials_are_pure(
+        system in arb_system(),
+        vms in 1usize..=8,
+        util in 0.45f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let workload = TrialWorkload::generate(&TrialConfig::new(vms, util, seed));
+        let a = run_trial(system, &workload, seed, 2_000);
+        let b = run_trial(system, &workload, seed, 2_000);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Physical throughput bound: on-time goodput can never exceed the
+    /// total offered response payload rate.
+    #[test]
+    fn throughput_bounded_by_offered_load(
+        system in arb_system(),
+        util in 0.45f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let horizon = 4_000u64;
+        let workload = TrialWorkload::generate(&TrialConfig::new(4, util, seed));
+        let outcome = run_trial(system, &workload, seed, horizon);
+        // Offered response bytes per second if every job completed on time.
+        let offered_bps: f64 = workload
+            .tasks()
+            .iter()
+            .map(|t| {
+                t.response_bytes as f64 * 8.0
+                    / (t.task.period() as f64 * SLOT_MICROS as f64 / 1e6)
+            })
+            .sum();
+        prop_assert!(
+            outcome.throughput_mbps <= offered_bps / 1e6 * 1.05,
+            "goodput {} exceeds offered {}",
+            outcome.throughput_mbps,
+            offered_bps / 1e6
+        );
+    }
+
+    /// Success is consistent with the miss counter, and failed trials carry
+    /// at least one critical miss.
+    #[test]
+    fn success_iff_zero_critical_misses(
+        system in arb_system(),
+        util in 0.45f64..1.05,
+        seed in any::<u64>(),
+    ) {
+        let workload = TrialWorkload::generate(&TrialConfig::new(4, util, seed));
+        let outcome = run_trial(system, &workload, seed, 3_000);
+        prop_assert_eq!(outcome.success, outcome.critical_misses == 0);
+        prop_assert!(outcome.critical_misses <= outcome.misses);
+    }
+
+    /// At the comfortable base load, every system passes every trial —
+    /// the left edge of Fig. 7 is flat at 1.0 for everyone.
+    #[test]
+    fn everyone_succeeds_at_base_load(system in arb_system(), seed in 0u64..64) {
+        let workload = TrialWorkload::generate(&TrialConfig::new(4, 0.45, seed));
+        let outcome = run_trial(system, &workload, seed, 8_000);
+        prop_assert!(
+            outcome.success,
+            "{} failed at 45% load: {:?}",
+            system.label(),
+            outcome
+        );
+    }
+}

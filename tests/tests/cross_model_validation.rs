@@ -1,0 +1,132 @@
+//! Cross-model validation: the abstract constants used by the executable
+//! platform models must be consistent with the detailed substrate models
+//! they summarize.
+
+use ioguard_noc::network::{Network, NetworkConfig};
+use ioguard_noc::packet::{Packet, PacketKind};
+use ioguard_noc::topology::NodeId;
+use ioguard_hw::footprint::SystemKind;
+use ioguard_hypervisor::driver::{IoController, IoProtocol};
+use ioguard_rtos::path::IoPath;
+use ioguard_sim::stats::OnlineStats;
+
+/// The LegacyPlatform charges each job a router delay of
+/// `1 + jitter(0 .. 2·vms)` *slots* (50 µs each). Drive the real 5×5 mesh
+/// with the corresponding I/O traffic and check the cycle-level delivery
+/// latencies fall well inside that budget — the slot-level abstraction is
+/// conservative, not optimistic.
+#[test]
+fn legacy_jitter_constant_brackets_real_mesh_latency() {
+    const CYCLES_PER_SLOT: u64 = 5_000; // 50 µs at 100 MHz
+    let vms = 8usize;
+    let mut net = Network::new(NetworkConfig::paper_platform()).expect("valid");
+    // One I/O request per VM node toward the I/O corner, all at once —
+    // the contention burst the jitter constant models.
+    for i in 0..vms as u64 {
+        let src = NodeId::new((i % 4) as u16, (i / 4) as u16);
+        net.inject(Packet::request(i + 1, src, NodeId::new(4, 4), 8).expect("≥1 flit"))
+            .expect("fits");
+    }
+    let out = net.run_until_idle(1_000_000);
+    assert_eq!(out.len(), vms);
+    let mut stats = OnlineStats::new();
+    for d in &out {
+        stats.push(d.latency().raw() as f64);
+    }
+    let worst_cycles = stats.max().expect("non-empty");
+    let budget_cycles = ((1 + 2 * vms as u64) * CYCLES_PER_SLOT) as f64;
+    assert!(
+        worst_cycles < budget_cycles,
+        "mesh worst latency {worst_cycles} cycles exceeds the LegacyPlatform \
+         budget of {budget_cycles} cycles"
+    );
+    // And the abstraction is not absurdly loose either: the mesh burst
+    // latency is at least one slot-scale quantity under contention? No —
+    // a 100 MHz mesh crosses in ~tens of cycles; the slot model rounds up.
+    assert!(worst_cycles >= 10.0);
+}
+
+/// The RT-Xen platform's software inflation (~tens of µs/op) must match
+/// the Fig. 3 path model's cycle count at the platform clock.
+#[test]
+fn rtxen_inflation_matches_fig3_path() {
+    let path = IoPath::for_system(SystemKind::RtXen);
+    let micros = path.round_trip_micros(256);
+    // The executable model charges: 25% × 50 µs (fixed) + 10% relative +
+    // 0–10 slot arrival latency ⇒ an effective mean of roughly 15–80 µs.
+    assert!(
+        (10.0..=150.0).contains(&micros),
+        "Fig. 3 RT-Xen path {micros:.1} µs disagrees with the platform constants"
+    );
+    // And I/O-GUARD's path must be negligible vs one slot, which is why
+    // its platform model charges only the quantized R-channel overhead.
+    let iog = IoPath::for_system(SystemKind::IoGuard).round_trip_micros(256);
+    assert!(iog < 5.0, "{iog}");
+}
+
+/// The case-study suite's nominal WCETs (slots) must be consistent with
+/// the driver model: request over 1 Gbps Ethernet + response over 10 Mbps
+/// FlexRay for the task's payloads should fit within the task's WCET
+/// budget at the 50 µs slot.
+#[test]
+fn suite_wcets_cover_driver_service_times() {
+    use ioguard_workload::suites::{FUNCTION_TASKS, SAFETY_TASKS, SLOT_MICROS};
+    let eth = IoController::new(IoProtocol::Ethernet);
+    let flexray = IoController::new(IoProtocol::FlexRay);
+    let slot_ns = SLOT_MICROS * 1_000;
+    for spec in SAFETY_TASKS.iter().chain(FUNCTION_TASKS.iter()) {
+        let request = eth.service_slots(spec.request_bytes, slot_ns);
+        let response = flexray.service_slots(spec.response_bytes, slot_ns);
+        let wire_slots = request + response;
+        assert!(
+            wire_slots <= spec.wcet_slots + 2,
+            "{}: wire time {} slots vs wcet {} slots",
+            spec.name,
+            wire_slots,
+            spec.wcet_slots
+        );
+    }
+}
+
+/// Class-aware NoC QoS and the hypervisor's pass-through response channel
+/// tell the same story: responses are never blocked behind bulk traffic.
+#[test]
+fn response_class_is_never_blocked() {
+    let flooded_latency = |class_aware: bool| {
+        let mut config = NetworkConfig::paper_platform();
+        config.class_aware = class_aware;
+        let mut net = Network::new(config).expect("valid");
+        for i in 0..10u64 {
+            net.inject(
+                Packet::new(
+                    100 + i,
+                    PacketKind::Memory,
+                    NodeId::new(0, (i % 5) as u16),
+                    NodeId::new(4, 2),
+                    8,
+                    0,
+                )
+                .expect("valid"),
+            )
+            .expect("fits");
+        }
+        net.inject(
+            Packet::new(1, PacketKind::IoResponse, NodeId::new(0, 2), NodeId::new(4, 2), 4, 0)
+                .expect("valid"),
+        )
+        .expect("fits");
+        net.run_until_idle(1_000_000)
+            .iter()
+            .find(|d| d.packet.id() == 1)
+            .expect("delivered")
+            .latency()
+            .raw()
+    };
+    let qos = flooded_latency(true);
+    let rr = flooded_latency(false);
+    // Class QoS beats round-robin under the flood, and its residual
+    // penalty (in-flight wormholes it legitimately cannot preempt) is
+    // bounded by a handful of bulk serializations, not the whole flood.
+    assert!(qos < rr, "qos {qos} vs rr {rr}");
+    assert!(qos <= 10 + 9 * 5, "qos residual penalty too large: {qos}");
+}
