@@ -50,7 +50,10 @@ fn ablation_queue_discipline() {
     println!("\n=== Ablation: queue discipline (EDF pools vs FIFO) at 85% util, 4 VMs ===");
     for (label, system) in [
         ("FIFO (BV)", SystemUnderTest::BlueVisor),
-        ("EDF pools (I/O-GUARD-0)", SystemUnderTest::IoGuard { preload_pct: 0 }),
+        (
+            "EDF pools (I/O-GUARD-0)",
+            SystemUnderTest::IoGuard { preload_pct: 0 },
+        ),
     ] {
         let s = CaseStudyPoint {
             system,
@@ -83,7 +86,10 @@ fn ablation_isolation() {
             horizon_slots: 16_000,
         }
         .run();
-        println!("{label:<16} success {:.2}  throughput {:.2} Mbit/s", s.success_ratio, s.throughput_mbps);
+        println!(
+            "{label:<16} success {:.2}  throughput {:.2} Mbit/s",
+            s.success_ratio, s.throughput_mbps
+        );
     }
 }
 

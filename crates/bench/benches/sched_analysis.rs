@@ -6,9 +6,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use ioguard_core::experiments::{
-    acceptance_ratio_sweep, theorem_agreement, SchedExperimentConfig,
-};
+use ioguard_core::experiments::{acceptance_ratio_sweep, theorem_agreement, SchedExperimentConfig};
 use ioguard_sched::gsched::{theorem1_exact, theorem2_pseudo_poly};
 use ioguard_sched::lsched::{theorem3_exact, theorem4_pseudo_poly};
 use ioguard_sched::table::TimeSlotTable;

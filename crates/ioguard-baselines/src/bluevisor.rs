@@ -107,8 +107,8 @@ mod tests {
 
     #[test]
     fn beats_rtxen_on_identical_workload() {
-        use crate::rtxen::RtXenPlatform;
         use crate::platform::IoPlatform as _;
+        use crate::rtxen::RtXenPlatform;
         let drive = |p: &mut dyn IoPlatform| {
             // Moderate periodic load: 8 tasks, period 40, wcet 4 → U = 0.8.
             for t in 0..2000u64 {

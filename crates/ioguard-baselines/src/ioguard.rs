@@ -127,9 +127,7 @@ impl IoPlatform for IoGuardPlatform {
         }
         // Overflow is recorded inside the hypervisor as a miss; the
         // platform interface never refuses.
-        let _ = self
-            .hypervisor
-            .submit_with_payload(rt, job.response_bytes);
+        let _ = self.hypervisor.submit_with_payload(rt, job.response_bytes);
         self.refresh_metrics();
     }
 

@@ -122,9 +122,7 @@ mod tests {
         // Average NoC delay over many jobs grows with VM count.
         let avg_delay = |vms: usize| {
             let p = LegacyPlatform::new(vms, 3);
-            let total: u64 = (0..200)
-                .map(|i| p.noc_delay(&job(i, 0, 1, 100)))
-                .sum();
+            let total: u64 = (0..200).map(|i| p.noc_delay(&job(i, 0, 1, 100))).sum();
             total as f64 / 200.0
         };
         assert!(avg_delay(8) > avg_delay(4) + 1.0);

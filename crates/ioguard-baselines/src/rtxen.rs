@@ -65,8 +65,7 @@ impl RtXenPlatform {
     /// Service time after software inflation, for a specific job.
     fn inflated_wcet(&self, job: &PlatformJob) -> u64 {
         let fixed = u64::from(
-            job_jitter(self.seed ^ 0x51ED, job.task_id, job.release, 100)
-                < VMM_FIXED_OVERHEAD_PCT,
+            job_jitter(self.seed ^ 0x51ED, job.task_id, job.release, 100) < VMM_FIXED_OVERHEAD_PCT,
         );
         let interference = u64::from(
             job_jitter(self.seed ^ 0x1F7E, job.task_id, job.release, 100)

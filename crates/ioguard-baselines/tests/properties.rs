@@ -55,7 +55,10 @@ fn check_conservation(m: &PlatformMetrics, offered: u64) {
         accounted <= offered,
         "accounted {accounted} > offered {offered}: {m:?}"
     );
-    assert_eq!(m.missed, m.completed_late + m.dropped + (m.missed - m.completed_late - m.dropped));
+    assert_eq!(
+        m.missed,
+        m.completed_late + m.dropped + (m.missed - m.completed_late - m.dropped)
+    );
     assert!(m.critical_missed <= m.missed);
     assert!(m.on_time_bytes <= m.response_bytes);
 }

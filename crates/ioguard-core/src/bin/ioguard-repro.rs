@@ -5,12 +5,17 @@
 //! ioguard-repro fig3                      software i/o paths
 //! ioguard-repro fig6                      software overhead table
 //! ioguard-repro table1                    hardware overhead table
-//! ioguard-repro fig7 [--trials N]         the automotive case study
+//! ioguard-repro fig7 [--trials N] [--threads N]   the automotive case study
 //! ioguard-repro fig8 [--eta N]            scalability sweep
 //! ioguard-repro sched                     analysis experiments
 //! ioguard-repro predictability            latency profiles
-//! ioguard-repro all [--trials N]          everything above
+//! ioguard-repro all [--trials N] [--threads N]    everything above
 //! ```
+//!
+//! `--trials` sets the per-point trial count of the Fig. 7 sweep (default
+//! 25; the paper uses 1000). `--threads` caps the experiment engine's
+//! worker count (default 0 = all cores); results are bit-identical for any
+//! value.
 
 use std::process::ExitCode;
 
@@ -44,10 +49,21 @@ fn run_table1() {
     println!("{}", table1_report());
 }
 
-fn run_fig7(trials: u64) {
+fn run_fig7(trials: u64, threads: usize) {
     println!("== Fig. 7 — automotive case study ({trials} trials/point) ==");
-    let report = Fig7Report::run(&CaseStudyConfig::paper_shape(trials));
+    let (report, stats) =
+        Fig7Report::run_instrumented(&CaseStudyConfig::paper_shape(trials), threads);
     println!("{report}");
+    let busy = stats.busy_seconds();
+    if busy > 0.0 {
+        println!(
+            "engine: {} tasks on {} workers, {} steals, {:.1} tasks/s/core",
+            stats.tasks,
+            stats.workers,
+            stats.steals,
+            stats.tasks as f64 / busy,
+        );
+    }
 }
 
 fn run_fig8(eta: u64) {
@@ -85,11 +101,12 @@ fn main() -> ExitCode {
     let command = args.first().map(String::as_str).unwrap_or("help");
     let trials = flag(&args, "--trials", 25);
     let eta = flag(&args, "--eta", 5);
+    let threads = flag(&args, "--threads", 0) as usize;
     match command {
         "fig3" => run_fig3(),
         "fig6" => run_fig6(),
         "table1" => run_table1(),
-        "fig7" => run_fig7(trials),
+        "fig7" => run_fig7(trials, threads),
         "fig8" => run_fig8(eta),
         "sched" => run_sched(),
         "predictability" => run_predictability(),
@@ -100,12 +117,12 @@ fn main() -> ExitCode {
             run_fig8(eta);
             run_sched();
             run_predictability();
-            run_fig7(trials);
+            run_fig7(trials, threads);
         }
         "help" | "--help" | "-h" => {
             println!(
                 "usage: ioguard-repro <fig3|fig6|table1|fig7|fig8|sched|predictability|all> \
-                 [--trials N] [--eta N]"
+                 [--trials N] [--threads N] [--eta N]"
             );
         }
         other => {

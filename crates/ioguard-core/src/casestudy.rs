@@ -8,9 +8,14 @@
 //! repeats trials over seeds; the full *figure* sweeps systems ×
 //! utilizations × VM-group sizes.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+
+use crate::engine::{self, EngineStats};
 
 use ioguard_baselines::bluevisor::BlueVisorPlatform;
 use ioguard_baselines::ioguard::IoGuardPlatform;
@@ -164,42 +169,48 @@ pub fn run_trial(
     };
 
     // Drive the periodic job stream. Pre-loaded tasks execute autonomously
-    // inside the P-channel.
-    let preloaded: Vec<bool> = workload
+    // inside the P-channel. Releases are drawn from a calendar heap keyed
+    // `(release slot, task index)` rather than re-testing every task every
+    // slot: a slot with no release costs one heap peek, and within a slot
+    // releases pop in ascending task index — the same order the full scan
+    // produced, so job ids (and hence jitter draws) are unchanged.
+    let mut calendar: BinaryHeap<Reverse<(u64, usize)>> = workload
         .tasks()
         .iter()
-        .map(|t| preload_names.iter().any(|n| *n == t.name))
+        .enumerate()
+        .filter(|(_, t)| !preload_names.contains(&t.name))
+        .map(|(idx, _)| Reverse((phases[idx], idx)))
         .collect();
     let mut next_job_id = 1u64;
     for slot in 0..horizon_slots {
-        for (idx, task) in workload.tasks().iter().enumerate() {
-            if preloaded[idx] {
-                continue;
+        while let Some(&Reverse((release, idx))) = calendar.peek() {
+            if release > slot {
+                break;
             }
-            let period = task.task.period();
-            if slot >= phases[idx] && (slot - phases[idx]) % period == 0 {
-                // Per-job actual execution time (deterministic in the ids).
-                let frac = ACTUAL_EXEC_MIN
-                    + (1.0 - ACTUAL_EXEC_MIN)
-                        * (ioguard_baselines::platform::job_jitter(
-                            phase_seed ^ 0xEC,
-                            next_job_id,
-                            slot,
-                            1024,
-                        ) as f64
-                            / 1024.0);
-                let actual = ((task.task.wcet() as f64 * frac).round() as u64).max(1);
-                platform.submit(PlatformJob::new(
-                    task.vm,
-                    next_job_id,
-                    slot,
-                    actual,
-                    slot + task.task.deadline(),
-                    task.response_bytes,
-                    task.is_critical(),
-                ));
-                next_job_id += 1;
-            }
+            calendar.pop();
+            let task = &workload.tasks()[idx];
+            // Per-job actual execution time (deterministic in the ids).
+            let frac = ACTUAL_EXEC_MIN
+                + (1.0 - ACTUAL_EXEC_MIN)
+                    * (ioguard_baselines::platform::job_jitter(
+                        phase_seed ^ 0xEC,
+                        next_job_id,
+                        slot,
+                        1024,
+                    ) as f64
+                        / 1024.0);
+            let actual = ((task.task.wcet() as f64 * frac).round() as u64).max(1);
+            platform.submit(PlatformJob::new(
+                task.vm,
+                next_job_id,
+                slot,
+                actual,
+                slot + task.task.deadline(),
+                task.response_bytes,
+                task.is_critical(),
+            ));
+            next_job_id += 1;
+            calendar.push(Reverse((release + task.task.period(), idx)));
         }
         platform.step();
     }
@@ -229,7 +240,7 @@ fn build_ioguard(
         .tasks()
         .iter()
         .enumerate()
-        .filter(|(_, t)| preload_names.iter().any(|n| *n == t.name))
+        .filter(|(_, t)| preload_names.contains(&t.name))
         .map(|(idx, t)| PredefinedTask {
             task_id: idx as u64 + 1,
             vm: t.vm,
@@ -283,7 +294,11 @@ pub struct PointSummary {
 }
 
 impl CaseStudyPoint {
-    /// Runs all trials of this point sequentially (deterministic).
+    /// Runs all trials of this point in order on the calling thread.
+    ///
+    /// This is the reference path: [`Fig7Report::run`] distributes the same
+    /// trials over the work-stealing engine and aggregates them in the same
+    /// trial order, so both paths produce bit-identical summaries.
     pub fn run(&self) -> PointSummary {
         let root = SplitMix64::new(self.seed);
         let mut successes = 0u64;
@@ -362,73 +377,91 @@ pub struct Fig7Report {
 }
 
 impl Fig7Report {
-    /// Runs the whole sweep. Points are independent; they are distributed
-    /// over a crossbeam scope so the 1000-trial bench saturates all cores.
+    /// Runs the whole sweep on all available cores. See
+    /// [`Fig7Report::run_with_threads`].
     pub fn run(config: &CaseStudyConfig) -> Self {
-        let points: Vec<(SystemUnderTest, usize, f64)> = config
-            .vm_groups
-            .iter()
-            .flat_map(|&vms| {
-                config.systems.iter().flat_map(move |&system| {
-                    config
-                        .utilizations
-                        .iter()
-                        .map(move |&u| (system, vms, u))
-                })
-            })
-            .collect();
-        let results: Vec<(usize, Fig7Cell)> = {
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(points.len().max(1));
-            let chunk = points.len().div_ceil(threads);
-            let mut out = Vec::with_capacity(points.len());
-            crossbeam::scope(|scope| {
-                let handles: Vec<_> = points
-                    .chunks(chunk.max(1))
-                    .enumerate()
-                    .map(|(ci, chunk_points)| {
-                        let config = &config;
-                        scope.spawn(move |_| {
-                            chunk_points
-                                .iter()
-                                .enumerate()
-                                .map(|(i, &(system, vms, u))| {
-                                    let point = CaseStudyPoint {
-                                        system,
-                                        vms,
-                                        target_utilization: u,
-                                        trials: config.trials,
-                                        seed: config.seed,
-                                        horizon_slots: config.horizon_slots,
-                                    };
-                                    (
-                                        ci * chunk.max(1) + i,
-                                        Fig7Cell {
-                                            system,
-                                            vms,
-                                            target_utilization: u,
-                                            summary: point.run(),
-                                        },
-                                    )
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
+        Self::run_with_threads(config, 0)
+    }
+
+    /// Runs the whole sweep on `threads` workers (`0` = all cores).
+    pub fn run_with_threads(config: &CaseStudyConfig, threads: usize) -> Self {
+        Self::run_instrumented(config, threads).0
+    }
+
+    /// Runs the sweep and also returns the engine counters (trial count,
+    /// steals, per-trial timing) for throughput reporting.
+    ///
+    /// Work is scheduled at *(system, trial)* granularity on the
+    /// work-stealing engine, one `(vms, utilization)` group at a time. Each
+    /// group generates its trial workloads once and shares them (via `Arc`)
+    /// across all systems — the sequential path regenerates the identical
+    /// workload per system from the same `(vms, utilization, trial_seed)`
+    /// triple, so sharing changes nothing but the work done. Outcomes are
+    /// scattered back into `(system, trial)` order and aggregated in trial
+    /// order, making the report bit-identical for every thread count.
+    pub fn run_instrumented(config: &CaseStudyConfig, threads: usize) -> (Self, EngineStats) {
+        let root = SplitMix64::new(config.seed);
+        let trial_seeds: Vec<u64> = (0..config.trials).map(|t| root.derive(t + 1)).collect();
+        let n_systems = config.systems.len();
+        let n_utils = config.utilizations.len();
+        let trials = trial_seeds.len();
+
+        // Cells ordered (vm group, system, utilization), as documented.
+        let total = config.vm_groups.len() * n_systems * n_utils;
+        let mut cells: Vec<Option<Fig7Cell>> = (0..total).map(|_| None).collect();
+        let mut stats = EngineStats::default();
+
+        for (gi, &vms) in config.vm_groups.iter().enumerate() {
+            for (ui, &u) in config.utilizations.iter().enumerate() {
+                // One workload per trial, shared by every system.
+                let (workloads, gen_stats) =
+                    engine::run_indexed(threads, &trial_seeds, |_, &seed| {
+                        Arc::new(TrialWorkload::generate(&TrialConfig::new(vms, u, seed)))
+                    });
+                stats.absorb(&gen_stats);
+
+                let units: Vec<(usize, usize)> = (0..n_systems)
+                    .flat_map(|si| (0..trials).map(move |ti| (si, ti)))
                     .collect();
-                for h in handles {
-                    out.extend(h.join().expect("case-study worker panicked"));
+                let (outcomes, run_stats) = engine::run_indexed(threads, &units, |_, &(si, ti)| {
+                    run_trial(
+                        config.systems[si],
+                        &workloads[ti],
+                        trial_seeds[ti],
+                        config.horizon_slots,
+                    )
+                });
+                stats.absorb(&run_stats);
+
+                for (si, &system) in config.systems.iter().enumerate() {
+                    let mut successes = 0u64;
+                    let mut tp = OnlineStats::new();
+                    for outcome in &outcomes[si * trials..(si + 1) * trials] {
+                        if outcome.success {
+                            successes += 1;
+                        }
+                        tp.push(outcome.throughput_mbps);
+                    }
+                    cells[(gi * n_systems + si) * n_utils + ui] = Some(Fig7Cell {
+                        system,
+                        vms,
+                        target_utilization: u,
+                        summary: PointSummary {
+                            success_ratio: successes as f64 / config.trials.max(1) as f64,
+                            throughput_mbps: tp.mean(),
+                            throughput_std: tp.std_dev(),
+                        },
+                    });
                 }
-            })
-            .expect("crossbeam scope");
-            out
-        };
-        let mut results = results;
-        results.sort_by_key(|(i, _)| *i);
-        Self {
-            cells: results.into_iter().map(|(_, c)| c).collect(),
+            }
         }
+        let report = Self {
+            cells: cells
+                .into_iter()
+                .map(|c| c.expect("every sweep cell filled"))
+                .collect(),
+        };
+        (report, stats)
     }
 
     /// Cells of one (vms, system) series in utilization order.
@@ -474,7 +507,10 @@ impl fmt::Display for Fig7Report {
             }
         }
         for vms in vm_groups {
-            writeln!(f, "== {vms}-VM group: success ratio (top), throughput Mbit/s (bottom) ==")?;
+            writeln!(
+                f,
+                "== {vms}-VM group: success ratio (top), throughput Mbit/s (bottom) =="
+            )?;
             let utils: Vec<f64> = {
                 let mut u: Vec<f64> = self
                     .cells
@@ -576,8 +612,7 @@ mod tests {
         // The same workload + phase seed yields the same job stream; verify
         // via equal *offered* load accounting: run two FIFO-family systems
         // and compare total jobs seen (completed + missed + queued tail).
-        let workload =
-            TrialWorkload::generate(&TrialConfig::new(4, 0.5, 99));
+        let workload = TrialWorkload::generate(&TrialConfig::new(4, 0.5, 99));
         let a = run_trial(SystemUnderTest::BlueVisor, &workload, 99, 4000);
         let b = run_trial(SystemUnderTest::BlueVisor, &workload, 99, 4000);
         assert_eq!(a, b);
@@ -609,6 +644,57 @@ mod tests {
         assert_eq!(csv.lines().count(), 1 + report.cells.len());
         assert!(csv.starts_with("system,vms"));
         assert!(csv.contains("BS|BV,2,0.40,"));
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_single_threaded() {
+        let config = CaseStudyConfig {
+            vm_groups: vec![3],
+            utilizations: vec![0.5, 0.8],
+            trials: 3,
+            seed: 11,
+            horizon_slots: 3000,
+            systems: vec![
+                SystemUnderTest::Legacy,
+                SystemUnderTest::BlueVisor,
+                SystemUnderTest::IoGuard { preload_pct: 40 },
+                SystemUnderTest::IoGuardServerIsolated { preload_pct: 40 },
+            ],
+        };
+        let parallel = Fig7Report::run_with_threads(&config, 4);
+        let forced_sequential = Fig7Report::run_with_threads(&config, 1);
+        // f64 PartialEq: bit-identical, not approximately equal.
+        assert_eq!(parallel, forced_sequential);
+        // The engine path also matches the per-point reference path, which
+        // regenerates each workload instead of sharing it.
+        for cell in &parallel.cells {
+            let point = CaseStudyPoint {
+                system: cell.system,
+                vms: cell.vms,
+                target_utilization: cell.target_utilization,
+                trials: config.trials,
+                seed: config.seed,
+                horizon_slots: config.horizon_slots,
+            };
+            assert_eq!(point.run(), cell.summary, "{}", cell.system.label());
+        }
+    }
+
+    #[test]
+    fn shared_workload_matches_regenerated_workload() {
+        // The sweep generates one workload per (vms, utilization, seed) and
+        // shares it across systems; a trial on the shared instance must
+        // equal a trial on a fresh generation.
+        let shared = Arc::new(TrialWorkload::generate(&TrialConfig::new(4, 0.7, 123)));
+        let fresh = TrialWorkload::generate(&TrialConfig::new(4, 0.7, 123));
+        for system in SystemUnderTest::figure7_lineup() {
+            assert_eq!(
+                run_trial(system, &shared, 123, 2000),
+                run_trial(system, &fresh, 123, 2000),
+                "{}",
+                system.label()
+            );
+        }
     }
 
     #[test]

@@ -82,8 +82,8 @@ pub fn acceptance_ratio_sweep(
     utilizations: &[f64],
 ) -> Vec<AcceptancePoint> {
     let mut rng = Xoshiro256StarStar::new(config.seed);
-    let occupied: Vec<u64> = (0..((config.table_len as f64 * config.occupied_fraction) as u64))
-        .collect();
+    let occupied: Vec<u64> =
+        (0..((config.table_len as f64 * config.occupied_fraction) as u64)).collect();
     let sigma = TimeSlotTable::from_occupied(config.table_len, &occupied)
         .expect("table parameters are valid");
     utilizations
@@ -92,9 +92,11 @@ pub fn acceptance_ratio_sweep(
             let mut accepted = 0u32;
             for _ in 0..config.systems_per_point {
                 let task_sets = random_task_sets(&mut rng, config, util);
-                if let Ok(servers) =
-                    synthesize_servers(&sigma, &task_sets, &SynthesisConfig::divisors_of(config.table_len))
-                {
+                if let Ok(servers) = synthesize_servers(
+                    &sigma,
+                    &task_sets,
+                    &SynthesisConfig::divisors_of(config.table_len),
+                ) {
                     // Synthesis already validates both layers.
                     debug_assert_eq!(servers.len(), task_sets.len());
                     accepted += 1;
@@ -206,9 +208,15 @@ mod tests {
         let points = acceptance_ratio_sweep(&config, &[0.2, 0.5, 0.9]);
         assert_eq!(points.len(), 3);
         assert!(points[0].accepted >= points[2].accepted);
-        assert!(points[0].accepted > 0.8, "light systems admitted: {points:?}");
+        assert!(
+            points[0].accepted > 0.8,
+            "light systems admitted: {points:?}"
+        );
         // Beyond the free capacity (0.75 here) nothing fits.
-        assert!(points[2].accepted < 0.5, "heavy systems rejected: {points:?}");
+        assert!(
+            points[2].accepted < 0.5,
+            "heavy systems rejected: {points:?}"
+        );
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! * [`experiments`] — drivers and text renderers for Fig. 6 (software
 //!   overhead), Table I (hardware overhead), Fig. 8 (scalability) and the
 //!   Sec. IV schedulability-analysis experiments.
+//! * [`engine`] — the work-stealing experiment engine the case study runs
+//!   on: deterministic results at any thread count.
 //! * [`prelude`] — the commonly used types re-exported in one place.
 //!
 //! ## Quickstart
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod casestudy;
+pub mod engine;
 pub mod experiments;
 pub mod predictability;
 
@@ -42,13 +45,14 @@ pub mod prelude {
     pub use crate::casestudy::{
         CaseStudyConfig, CaseStudyPoint, Fig7Report, PointSummary, SystemUnderTest,
     };
+    pub use crate::engine::{run_indexed, EngineStats};
     pub use crate::experiments::{fig6_report, fig8_report, table1_report};
     pub use crate::predictability::{latency_profiles, PredictabilityConfig};
     pub use ioguard_baselines::platform::{IoPlatform, PlatformJob, PlatformMetrics};
     pub use ioguard_hypervisor::{Hypervisor, HypervisorParams, RtJob};
+    pub use ioguard_rtos::{IoPath, SoftwareLayer};
     pub use ioguard_sched::{
         PeriodicServer, SporadicTask, TaskSet, TimeSlotTable, TwoLayerAnalysis,
     };
-    pub use ioguard_rtos::{IoPath, SoftwareLayer};
     pub use ioguard_workload::{TrialConfig, TrialWorkload};
 }

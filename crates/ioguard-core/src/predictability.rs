@@ -197,10 +197,7 @@ mod tests {
 
     #[test]
     fn ioguard_probe_latency_is_tight() {
-        let p = latency_profile(
-            SystemUnderTest::IoGuard { preload_pct: 0 },
-            &quick_config(),
-        );
+        let p = latency_profile(SystemUnderTest::IoGuard { preload_pct: 0 }, &quick_config());
         // The probe preempts background bulk jobs: latency ≈ service time.
         assert_eq!(p.missed, 0, "{p:?}");
         assert!(p.p99 <= 16.0, "{p:?}");

@@ -131,8 +131,18 @@ mod tests {
         let c = HypervisorConfig::paper_table1().cost();
         let lut_err = (c.luts as f64 - 2777.0).abs() / 2777.0;
         let reg_err = (c.registers as f64 - 2974.0).abs() / 2974.0;
-        assert!(lut_err < 0.02, "LUTs = {} ({:.1}% off)", c.luts, lut_err * 100.0);
-        assert!(reg_err < 0.02, "regs = {} ({:.1}% off)", c.registers, reg_err * 100.0);
+        assert!(
+            lut_err < 0.02,
+            "LUTs = {} ({:.1}% off)",
+            c.luts,
+            lut_err * 100.0
+        );
+        assert!(
+            reg_err < 0.02,
+            "regs = {} ({:.1}% off)",
+            c.registers,
+            reg_err * 100.0
+        );
         assert_eq!(c.dsp, 0);
         assert_eq!(c.bram_kb, 256);
         let pow_err = (c.power_mw as f64 - 279.0).abs() / 279.0;
@@ -164,8 +174,8 @@ mod tests {
         let cfg16 = HypervisorConfig::new(16, 1);
         let delta_luts = cfg16.group_cost().luts - cfg15.group_cost().luts;
         // One extra pool plus one G-Sched tree node plus mux growth.
-        let expected = cfg16.io_pool_cost().luts
-            + (cfg16.gsched_cost().luts - cfg15.gsched_cost().luts);
+        let expected =
+            cfg16.io_pool_cost().luts + (cfg16.gsched_cost().luts - cfg15.gsched_cost().luts);
         assert_eq!(delta_luts, expected);
     }
 

@@ -154,7 +154,7 @@ pub fn footprint(system: SystemKind) -> SystemFootprint {
         // Xen + RT patches: a software hypervisor plus a para-virtualized
         // kernel; split front/back drivers roughly double each driver.
         SystemKind::RtXen => (
-            Segments::new(25, 6, 7),  // 38 KB VMM
+            Segments::new(25, 6, 7),   // 38 KB VMM
             Segments::new(43, 13, 14), // 70 KB modified kernel
             vec![
                 (Spi, Segments::new(6, 2, 1)),       // 9 KB
@@ -166,7 +166,7 @@ pub fn footprint(system: SystemKind) -> SystemFootprint {
         // BlueVisor: I/O virtualization in hardware, but a thin software VMM
         // still multiplexes the cores; kernel unmodified.
         SystemKind::BlueVisor => (
-            Segments::new(6, 2, 2), // 10 KB VMM
+            Segments::new(6, 2, 2),  // 10 KB VMM
             Segments::new(30, 8, 9), // 47 KB
             vec![
                 (Spi, Segments::new(3, 1, 0)),      // 4 KB
@@ -204,8 +204,7 @@ pub fn fig6() -> Vec<SystemFootprint> {
 
 /// Renders Fig. 6 as an aligned text table (KB).
 pub fn render_fig6() -> String {
-    let mut out =
-        String::from("              VMM  Kernel  SPI  I2C  Ethernet  FlexRay  Total\n");
+    let mut out = String::from("              VMM  Kernel  SPI  I2C  Ethernet  FlexRay  Total\n");
     for fp in fig6() {
         out.push_str(&format!(
             "{:<12}  {:>3}  {:>6}  {:>3}  {:>3}  {:>8}  {:>7}  {:>5}\n",
@@ -271,7 +270,10 @@ mod tests {
                 d(SystemKind::IoGuard) < d(SystemKind::BlueVisor),
                 "{kind:?}: I/O-GUARD integrates low-level drivers into hardware"
             );
-            assert!(d(SystemKind::BlueVisor) <= d(SystemKind::Legacy), "{kind:?}");
+            assert!(
+                d(SystemKind::BlueVisor) <= d(SystemKind::Legacy),
+                "{kind:?}"
+            );
         }
     }
 

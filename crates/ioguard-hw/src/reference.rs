@@ -106,13 +106,15 @@ pub fn table1() -> Vec<Table1Row> {
 
 /// Renders Table I as an aligned text table (the benches print this).
 pub fn render_table1() -> String {
-    let mut out = String::from(
-        "                LUTs  Registers  DSP  RAM (KB)  Power (mW)\n",
-    );
+    let mut out = String::from("                LUTs  Registers  DSP  RAM (KB)  Power (mW)\n");
     for row in table1() {
         out.push_str(&format!(
             "{:<12}  {:>6}  {:>9}  {:>3}  {:>8}  {:>10}\n",
-            row.name, row.cost.luts, row.cost.registers, row.cost.dsp, row.cost.bram_kb,
+            row.name,
+            row.cost.luts,
+            row.cost.registers,
+            row.cost.dsp,
+            row.cost.bram_kb,
             row.cost.power_mw,
         ));
     }
@@ -129,7 +131,14 @@ mod tests {
         let names: Vec<&str> = t.iter().map(|r| r.name).collect();
         assert_eq!(
             names,
-            vec!["MicroBlaze", "RISC-V", "SPI", "Ethernet", "BlueIO", "Proposed"]
+            vec![
+                "MicroBlaze",
+                "RISC-V",
+                "SPI",
+                "Ethernet",
+                "BlueIO",
+                "Proposed"
+            ]
         );
         assert!(t[..5].iter().all(|r| r.published));
         assert!(!t[5].published);
@@ -161,7 +170,8 @@ mod tests {
         let t = table1();
         let proposed = &t[5].cost;
         // More hardware than bare SPI/Ethernet controllers…
-        assert!(proposed.luts > SPI.luts && proposed.luts > ETHERNET.luts);
+        assert!(proposed.luts > SPI.luts);
+        assert!(proposed.luts > ETHERNET.luts);
         // …but less than BlueVisor's BlueIO with equal memory.
         assert!(proposed.luts < BLUEIO.luts);
         assert!(proposed.registers < BLUEIO.registers);
@@ -172,7 +182,14 @@ mod tests {
     #[test]
     fn render_contains_all_rows() {
         let s = render_table1();
-        for name in ["MicroBlaze", "RISC-V", "SPI", "Ethernet", "BlueIO", "Proposed"] {
+        for name in [
+            "MicroBlaze",
+            "RISC-V",
+            "SPI",
+            "Ethernet",
+            "BlueIO",
+            "Proposed",
+        ] {
             assert!(s.contains(name), "missing {name} in:\n{s}");
         }
         assert!(s.contains("4908")); // MicroBlaze LUTs as published

@@ -198,7 +198,10 @@ mod tests {
         let one_frame = fr.transfer_ns(254);
         let two_frames = fr.transfer_ns(300);
         let bits_300_direct = (8 * 300 + 80) * 1_000_000_000 / 10_000_000;
-        assert!(two_frames > bits_300_direct, "second frame overhead counted");
+        assert!(
+            two_frames > bits_300_direct,
+            "second frame overhead counted"
+        );
         assert!(two_frames > one_frame);
     }
 

@@ -60,9 +60,7 @@ mod tests {
     fn display_and_trait() {
         let cases = [
             (
-                HvError::InvalidConfig {
-                    reason: "x".into(),
-                },
+                HvError::InvalidConfig { reason: "x".into() },
                 "invalid configuration",
             ),
             (HvError::UnknownVm { vm: 9, vms: 4 }, "out of range"),
@@ -74,9 +72,7 @@ mod tests {
                 "full",
             ),
             (
-                HvError::TableConstruction {
-                    reason: "y".into(),
-                },
+                HvError::TableConstruction { reason: "y".into() },
                 "time slot table",
             ),
         ];

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use ioguard_sched::task::PeriodicServer;
 
 use crate::pool::IoPool;
+use crate::shadowindex::ShadowIndex;
 
 /// Slot-allocation policy of the G-Sched.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,10 +47,9 @@ impl Gsched {
     pub fn new(policy: GschedPolicy) -> Self {
         let server_state = match &policy {
             GschedPolicy::GlobalEdf => Vec::new(),
-            GschedPolicy::ServerBased(servers) => servers
-                .iter()
-                .map(|s| (s.budget(), s.period()))
-                .collect(),
+            GschedPolicy::ServerBased(servers) => {
+                servers.iter().map(|s| (s.budget(), s.period())).collect()
+            }
         };
         Self {
             policy,
@@ -61,7 +61,7 @@ impl Gsched {
     pub fn tick(&mut self, now: u64) {
         if let GschedPolicy::ServerBased(servers) = &self.policy {
             for (i, server) in servers.iter().enumerate() {
-                if now > 0 && now % server.period() == 0 {
+                if now > 0 && now.is_multiple_of(server.period()) {
                     self.server_state[i] = (server.budget(), now + server.period());
                 }
             }
@@ -70,29 +70,49 @@ impl Gsched {
 
     /// Picks the VM that receives this free slot, inspecting the pools'
     /// shadow registers. Returns `None` when no eligible pool has work.
+    ///
+    /// This is the reference path; the hypervisor's hot loop uses
+    /// [`Gsched::grant_indexed`] with a maintained comparator tree instead.
     pub fn grant(&mut self, pools: &[IoPool]) -> Option<usize> {
         match &self.policy {
             GschedPolicy::GlobalEdf => pools
                 .iter()
                 .enumerate()
-                .filter_map(|(vm, p)| p.shadow().map(|e| (e.deadline, e.task_id, vm)))
+                .filter_map(|(vm, p)| p.shadow_key().map(|(d, t)| (d, t, vm)))
                 .min()
                 .map(|(_, _, vm)| vm),
-            GschedPolicy::ServerBased(servers) => {
-                debug_assert_eq!(servers.len(), pools.len(), "one server per pool");
-                let winner = pools
-                    .iter()
-                    .enumerate()
-                    .filter(|(vm, p)| self.server_state[*vm].0 > 0 && !p.is_empty())
-                    .map(|(vm, _)| (self.server_state[vm].1, vm))
-                    .min();
-                if let Some((_, vm)) = winner {
-                    self.server_state[vm].0 -= 1;
-                    Some(vm)
-                } else {
-                    None
-                }
-            }
+            GschedPolicy::ServerBased(_) => self.grant_server_based(pools),
+        }
+    }
+
+    /// Picks the VM that receives this free slot using the pre-resolved
+    /// comparator tree over shadow registers.
+    ///
+    /// Global EDF reads the winner off the tree root in O(1); the
+    /// server-based policy compares per-VM server deadlines (O(V) over the
+    /// VM count, never over pool contents). Behaviour is identical to
+    /// [`Gsched::grant`] as long as `index` mirrors the pools' shadow
+    /// registers.
+    pub fn grant_indexed(&mut self, pools: &[IoPool], index: &ShadowIndex) -> Option<usize> {
+        match &self.policy {
+            GschedPolicy::GlobalEdf => index.min().map(|(_, _, vm)| vm),
+            GschedPolicy::ServerBased(_) => self.grant_server_based(pools),
+        }
+    }
+
+    fn grant_server_based(&mut self, pools: &[IoPool]) -> Option<usize> {
+        debug_assert_eq!(self.server_state.len(), pools.len(), "one server per pool");
+        let winner = pools
+            .iter()
+            .enumerate()
+            .filter(|(vm, p)| self.server_state[*vm].0 > 0 && !p.is_empty())
+            .map(|(vm, _)| (self.server_state[vm].1, vm))
+            .min();
+        if let Some((_, vm)) = winner {
+            self.server_state[vm].0 -= 1;
+            Some(vm)
+        } else {
+            None
         }
     }
 

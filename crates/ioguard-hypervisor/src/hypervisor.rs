@@ -21,6 +21,7 @@ use crate::error::HvError;
 use crate::gsched::{Gsched, GschedPolicy};
 use crate::pchannel::{PChannel, PredefinedTask};
 use crate::pool::{IoPool, PoolEntry};
+use crate::shadowindex::ShadowIndex;
 
 /// Default hardware queue capacity of each I/O pool.
 pub const DEFAULT_POOL_CAPACITY: usize = 32;
@@ -181,6 +182,9 @@ impl HvMetrics {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Hypervisor {
     pools: Vec<IoPool>,
+    /// Comparator tree over the pools' shadow registers, refreshed on every
+    /// pool mutation — the G-Sched reads its winner in O(1).
+    shadow_index: ShadowIndex,
     pchannel: PChannel,
     gsched: Gsched,
     now: u64,
@@ -238,11 +242,7 @@ impl Hypervisor {
         if let GschedPolicy::ServerBased(servers) = &params.policy {
             if servers.len() != params.vms {
                 return Err(HvError::InvalidConfig {
-                    reason: format!(
-                        "{} servers for {} VMs",
-                        servers.len(),
-                        params.vms
-                    ),
+                    reason: format!("{} servers for {} VMs", servers.len(), params.vms),
                 });
             }
         }
@@ -253,6 +253,7 @@ impl Hypervisor {
             .collect();
         Ok(Self {
             pools,
+            shadow_index: ShadowIndex::new(params.vms),
             pchannel,
             gsched: Gsched::new(params.policy),
             now: 0,
@@ -301,6 +302,13 @@ impl Hypervisor {
         self.pools.len()
     }
 
+    /// Refreshes the comparator-tree leaf of VM `vm` from its pool's shadow
+    /// register. Must follow every pool mutation.
+    #[inline]
+    fn sync_shadow(&mut self, vm: usize) {
+        self.shadow_index.update(vm, self.pools[vm].shadow_key());
+    }
+
     /// Submits a run-time I/O job through VM `job.vm`'s driver.
     ///
     /// # Errors
@@ -309,6 +317,16 @@ impl Hypervisor {
     /// * [`HvError::PoolFull`] when the pool rejects the job; the job is
     ///   accounted as missed (the hardware cannot buffer it).
     pub fn submit(&mut self, job: RtJob) -> Result<(), HvError> {
+        self.submit_with_payload(job, 64)
+    }
+
+    /// Submits a job with an explicit response payload size (throughput
+    /// accounting).
+    ///
+    /// # Errors
+    ///
+    /// See [`Hypervisor::submit`].
+    pub fn submit_with_payload(&mut self, job: RtJob, response_bytes: u32) -> Result<(), HvError> {
         let vms = self.pools.len();
         let Some(pool) = self.pools.get_mut(job.vm) else {
             return Err(HvError::UnknownVm { vm: job.vm, vms });
@@ -323,75 +341,51 @@ impl Hypervisor {
             deadline: job.deadline,
             remaining: job.wcet,
             enqueued_at: self.now,
-            response_bytes: 64,
-            critical: job.critical,
-        };
-        match pool.insert(entry) {
-            Ok(()) => {
-                self.trace
-                    .record(Slots::new(self.now), TraceKind::Release, job.vm as u32, job.task_id as u32);
-                Ok(())
-            }
-            Err(_) => {
-                self.metrics.rejected += 1;
-                self.metrics.note_miss(job.task_id, job.critical);
-                self.trace
-                    .record(Slots::new(self.now), TraceKind::DeadlineMiss, job.vm as u32, job.task_id as u32);
-                Err(HvError::PoolFull {
-                    vm: job.vm,
-                    capacity: pool.capacity(),
-                })
-            }
-        }
-    }
-
-    /// Submits a job with an explicit response payload size (throughput
-    /// accounting).
-    ///
-    /// # Errors
-    ///
-    /// See [`Hypervisor::submit`].
-    pub fn submit_with_payload(&mut self, job: RtJob, response_bytes: u32) -> Result<(), HvError> {
-        let vms = self.pools.len();
-        let Some(pool) = self.pools.get_mut(job.vm) else {
-            return Err(HvError::UnknownVm { vm: job.vm, vms });
-        };
-        for missed in pool.expire(self.now) {
-            self.metrics.note_miss(missed.task_id, missed.critical);
-        }
-        let entry = PoolEntry {
-            task_id: job.task_id,
-            deadline: job.deadline,
-            remaining: job.wcet,
-            enqueued_at: self.now,
             response_bytes,
             critical: job.critical,
         };
-        match pool.insert(entry) {
+        let result = match pool.insert(entry) {
             Ok(()) => {
-                self.trace
-                    .record(Slots::new(self.now), TraceKind::Release, job.vm as u32, job.task_id as u32);
+                self.trace.record(
+                    Slots::new(self.now),
+                    TraceKind::Release,
+                    job.vm as u32,
+                    job.task_id as u32,
+                );
                 Ok(())
             }
             Err(_) => {
+                let capacity = pool.capacity();
                 self.metrics.rejected += 1;
                 self.metrics.note_miss(job.task_id, job.critical);
-                self.trace
-                    .record(Slots::new(self.now), TraceKind::DeadlineMiss, job.vm as u32, job.task_id as u32);
+                self.trace.record(
+                    Slots::new(self.now),
+                    TraceKind::DeadlineMiss,
+                    job.vm as u32,
+                    job.task_id as u32,
+                );
                 Err(HvError::PoolFull {
                     vm: job.vm,
-                    capacity: pool.capacity(),
+                    capacity,
                 })
             }
-        }
+        };
+        self.sync_shadow(job.vm);
+        result
     }
 
     /// Advances the global timer one slot.
     pub fn step(&mut self) {
         let now = self.now;
-        // 1. Deadline sweep over the random-access parameter slots.
+        // 1. Deadline sweep. The pools pop expired work off their shadow
+        //    registers (O(1) when nothing expired); the comparator tree is
+        //    refreshed only for pools that actually lost entries.
         for (vm, pool) in self.pools.iter_mut().enumerate() {
-            for missed in pool.expire(now) {
+            let missed = pool.expire(now);
+            if missed.is_empty() {
+                continue;
+            }
+            for missed in missed {
                 self.metrics.note_miss(missed.task_id, missed.critical);
                 self.trace.record(
                     Slots::new(now),
@@ -400,6 +394,7 @@ impl Hypervisor {
                     missed.task_id as u32,
                 );
             }
+            self.shadow_index.update(vm, pool.shadow_key());
         }
         // 2. Server replenishment.
         self.gsched.tick(now);
@@ -430,8 +425,7 @@ impl Hypervisor {
                     let h = hash3(reclaim.seed, task.task_id, state.job_counter);
                     let frac = reclaim.min_fraction
                         + (1.0 - reclaim.min_fraction) * (h % 1024) as f64 / 1024.0;
-                    state.remaining =
-                        ((wcet as f64 * frac).round() as u64).clamp(1, wcet);
+                    state.remaining = ((wcet as f64 * frac).round() as u64).clamp(1, wcet);
                 }
                 state.reserved_left -= 1;
                 if state.remaining > 0 {
@@ -457,8 +451,9 @@ impl Hypervisor {
                 );
             }
         } else {
-            // 4. Free (or reclaimed) slot: G-Sched grants one pool.
-            match self.gsched.grant(&self.pools) {
+            // 4. Free (or reclaimed) slot: G-Sched grants one pool, reading
+            //    the winner off the comparator tree.
+            match self.gsched.grant_indexed(&self.pools, &self.shadow_index) {
                 Some(vm) => {
                     self.metrics.rchannel_slots += 1;
                     let running = self.pools[vm]
@@ -469,9 +464,10 @@ impl Hypervisor {
                         match self.last_dispatched {
                             Some(prev) if prev == running => {}
                             Some((pvm, ptask))
-                                if self.pools.get(pvm).is_some_and(|p| {
-                                    p.iter().any(|e| e.task_id == ptask)
-                                }) =>
+                                if self
+                                    .pools
+                                    .get(pvm)
+                                    .is_some_and(|p| p.iter().any(|e| e.task_id == ptask)) =>
                             {
                                 // A different job resumed while the previous
                                 // one still has work: a preemption.
@@ -498,6 +494,9 @@ impl Hypervisor {
                     }
                     self.last_dispatched = Some(running);
                     if let Some(done) = self.pools[vm].execute_slot() {
+                        // Completion moved the shadow register; a mere
+                        // budget decrement leaves the key untouched.
+                        self.sync_shadow(vm);
                         self.metrics.completed += 1;
                         self.metrics.response_bytes += done.response_bytes as u64;
                         self.metrics
@@ -619,8 +618,7 @@ mod tests {
     fn pchannel_owns_its_slots() {
         // Pre-defined task occupies every 2nd slot (T=2, C=1); a run-time
         // job gets only the free slots.
-        let params =
-            HypervisorParams::new(1).with_predefined(vec![predefined(1, 2, 1)]);
+        let params = HypervisorParams::new(1).with_predefined(vec![predefined(1, 2, 1)]);
         let mut hv = Hypervisor::new(params).unwrap();
         hv.submit(RtJob::new(0, 7, 0, 3, 100)).unwrap();
         hv.run(6);
@@ -635,8 +633,7 @@ mod tests {
 
     #[test]
     fn predefined_response_bytes_counted() {
-        let params =
-            HypervisorParams::new(1).with_predefined(vec![predefined(1, 4, 1)]);
+        let params = HypervisorParams::new(1).with_predefined(vec![predefined(1, 4, 1)]);
         let mut hv = Hypervisor::new(params).unwrap();
         hv.run(8);
         assert_eq!(hv.metrics().predefined_completed, 2);
@@ -668,8 +665,7 @@ mod tests {
             PeriodicServer::new(4, 2).unwrap(),
             PeriodicServer::new(4, 2).unwrap(),
         ];
-        let params = HypervisorParams::new(2)
-            .with_policy(GschedPolicy::ServerBased(servers));
+        let params = HypervisorParams::new(2).with_policy(GschedPolicy::ServerBased(servers));
         let mut hv = Hypervisor::new(params).unwrap();
         // VM 0: endless stream of tight jobs (2 per period, each 2 slots —
         // twice its budget). VM 1: one job per period, 2 slots, deadline 4.
@@ -693,8 +689,7 @@ mod tests {
     #[test]
     fn step_is_deterministic() {
         let run = || {
-            let params = HypervisorParams::new(2)
-                .with_predefined(vec![predefined(1, 8, 2)]);
+            let params = HypervisorParams::new(2).with_predefined(vec![predefined(1, 8, 2)]);
             let mut hv = Hypervisor::new(params).unwrap();
             for k in 0..20 {
                 let t = hv.now();
@@ -713,8 +708,7 @@ mod tests {
 
     #[test]
     fn metrics_slot_accounting_adds_up() {
-        let params =
-            HypervisorParams::new(1).with_predefined(vec![predefined(1, 4, 2)]);
+        let params = HypervisorParams::new(1).with_predefined(vec![predefined(1, 4, 2)]);
         let mut hv = Hypervisor::new(params).unwrap();
         hv.submit(RtJob::new(0, 9, 0, 2, 50)).unwrap();
         hv.run(40);
@@ -744,18 +738,14 @@ mod tests {
         let preempt = trace.of_kind(TraceKind::Preempt).next().unwrap();
         assert_eq!(preempt.task, 1);
         // Completion order: tight job 2 first.
-        let completes: Vec<u32> = trace
-            .of_kind(TraceKind::Complete)
-            .map(|e| e.task)
-            .collect();
+        let completes: Vec<u32> = trace.of_kind(TraceKind::Complete).map(|e| e.task).collect();
         assert_eq!(completes, vec![2, 1]);
     }
 
     #[test]
     fn trace_records_misses_and_table_fires() {
         use ioguard_sim::trace::TraceKind;
-        let params =
-            HypervisorParams::new(1).with_predefined(vec![predefined(9, 4, 1)]);
+        let params = HypervisorParams::new(1).with_predefined(vec![predefined(9, 4, 1)]);
         let mut hv = Hypervisor::new(params).unwrap();
         hv.enable_trace(64);
         hv.submit(RtJob::new(0, 1, 0, 10, 3)).unwrap(); // must miss
@@ -806,14 +796,8 @@ mod tests {
                 for task in ts.iter() {
                     if t % task.period() == 0 {
                         next_id += 1;
-                        hv.submit(RtJob::new(
-                            vm,
-                            next_id,
-                            t,
-                            task.wcet(),
-                            t + task.deadline(),
-                        ))
-                        .unwrap();
+                        hv.submit(RtJob::new(vm, next_id, t, task.wcet(), t + task.deadline()))
+                            .unwrap();
                     }
                 }
             }

@@ -14,6 +14,9 @@
 //!   Two policies are provided: the literal micro-architecture (global EDF
 //!   over shadow registers) and the server-based variant analyzed in
 //!   Sec. IV (per-VM periodic budgets for hard inter-VM isolation).
+//! * [`shadowindex`] — the comparator tree the G-Sched hardware resolves
+//!   the shadow registers with: O(1) winner at the root, O(log V) refresh
+//!   per pool mutation.
 //! * [`driver`] — the **virtualization driver**: request/response
 //!   translators with bounded per-operation latency and standardized I/O
 //!   controller models (SPI, I²C, Ethernet, FlexRay) with real bandwidths.
@@ -45,6 +48,7 @@ pub mod gsched;
 pub mod hypervisor;
 pub mod pchannel;
 pub mod pool;
+pub mod shadowindex;
 pub mod system;
 
 pub use error::HvError;

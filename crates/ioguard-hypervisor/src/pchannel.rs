@@ -317,7 +317,9 @@ mod tests {
         let p = PChannel::build(vec![tight], 100).unwrap();
         // Both slots of each job must land within [release, release+3).
         for k in 0..3u64 {
-            let placed = (10 * k..10 * k + 3).filter(|&t| p.fire(t).is_some()).count();
+            let placed = (10 * k..10 * k + 3)
+                .filter(|&t| p.fire(t).is_some())
+                .count();
             assert_eq!(placed, 2, "job {k}");
         }
     }

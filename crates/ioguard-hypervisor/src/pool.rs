@@ -7,6 +7,16 @@
 //! timely manner (Sec. III-A). The L-Sched continuously selects the
 //! earliest-deadline task and maps its next operation to the shadow
 //! register, where the G-Sched can see it.
+//!
+//! The shadow register is maintained *incrementally*, mirroring the RTL:
+//! the hardware updates the earliest-deadline register on every insert and
+//! remove rather than re-scanning the queue each cycle. Here that means a
+//! cached min index — [`IoPool::shadow`] is O(1), [`IoPool::insert`] is
+//! O(1), and a linear repair runs only when the minimum itself leaves the
+//! queue (completion or expiry). Because the shadow key is ordered by
+//! deadline first, [`IoPool::expire`] pops expired entries straight off the
+//! shadow register and is O(1) per call when nothing has expired — the
+//! common case on the hot per-slot sweep.
 
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +57,16 @@ pub struct IoPool {
     capacity: usize,
     /// Jobs that could not be admitted because the queue was full.
     rejected: u64,
+    /// Index of the current shadow-register entry (the `(deadline,
+    /// task_id)`-minimum), kept up to date by every mutating operation.
+    /// `None` iff the pool is empty.
+    shadow_idx: Option<usize>,
+}
+
+/// The shadow-register ordering key: earliest deadline, ties by task id.
+#[inline]
+fn shadow_key(e: &PoolEntry) -> (u64, u64) {
+    (e.deadline, e.task_id)
 }
 
 impl IoPool {
@@ -61,6 +81,7 @@ impl IoPool {
             entries: Vec::with_capacity(capacity),
             capacity,
             rejected: 0,
+            shadow_idx: None,
         }
     }
 
@@ -91,17 +112,41 @@ impl IoPool {
             self.rejected += 1;
             return Err(entry);
         }
+        // Incremental shadow update: the new entry takes the register only
+        // if it beats the current minimum.
+        match self.shadow_idx {
+            Some(i) if shadow_key(&self.entries[i]) <= shadow_key(&entry) => {}
+            _ => self.shadow_idx = Some(self.entries.len()),
+        }
         self.entries.push(entry);
         Ok(())
     }
 
     /// The L-Sched output: the entry with the earliest deadline (ties by
-    /// task id), i.e. the contents of the shadow register.
+    /// task id), i.e. the contents of the shadow register. O(1): the
+    /// register is maintained incrementally.
     pub fn shadow(&self) -> Option<PoolEntry> {
-        self.entries
+        self.shadow_idx.map(|i| self.entries[i])
+    }
+
+    /// The shadow register's ordering key `(deadline, task_id)`, without
+    /// copying the entry. O(1).
+    pub fn shadow_key(&self) -> Option<(u64, u64)> {
+        self.shadow_idx.map(|i| shadow_key(&self.entries[i]))
+    }
+
+    /// Removes the shadow entry and recomputes the register. The linear
+    /// repair runs only here — when the minimum leaves the queue.
+    fn remove_shadow(&mut self) -> PoolEntry {
+        let idx = self.shadow_idx.expect("non-empty pool");
+        let removed = self.entries.swap_remove(idx);
+        self.shadow_idx = self
+            .entries
             .iter()
-            .copied()
-            .min_by_key(|e| (e.deadline, e.task_id))
+            .enumerate()
+            .min_by_key(|(_, e)| shadow_key(e))
+            .map(|(i, _)| i);
+        removed
     }
 
     /// Executes one slot of the shadow entry (called by the executor when
@@ -114,32 +159,30 @@ impl IoPool {
     /// valid shadow register.
     pub fn execute_slot(&mut self) -> Option<PoolEntry> {
         let idx = self
-            .entries
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| (e.deadline, e.task_id))
-            .map(|(i, _)| i)
+            .shadow_idx
             .expect("G-Sched grants only non-empty pools");
         self.entries[idx].remaining -= 1;
         if self.entries[idx].remaining == 0 {
-            Some(self.entries.swap_remove(idx))
+            Some(self.remove_shadow())
         } else {
             None
         }
     }
 
     /// Removes and returns every entry whose deadline is `≤ now` with work
-    /// remaining (deadline misses). Random access makes this a hardware
-    /// sweep over the parameter slots.
+    /// remaining (deadline misses), earliest deadline first.
+    ///
+    /// Because the shadow key orders by deadline first, the expired set is
+    /// exactly the run of successive shadow entries with `deadline ≤ now` —
+    /// so the sweep pops the register instead of scanning the queue, and
+    /// costs O(1) when nothing has expired.
     pub fn expire(&mut self, now: u64) -> Vec<PoolEntry> {
         let mut missed = Vec::new();
-        let mut i = 0;
-        while i < self.entries.len() {
-            if self.entries[i].deadline <= now {
-                missed.push(self.entries.swap_remove(i));
-            } else {
-                i += 1;
+        while let Some(i) = self.shadow_idx {
+            if self.entries[i].deadline > now {
+                break;
             }
+            missed.push(self.remove_shadow());
         }
         missed
     }

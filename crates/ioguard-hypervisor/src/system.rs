@@ -253,7 +253,8 @@ mod tests {
         // manager/driver groups (the paper's per-I/O partitioning).
         let mut sys = two_device_system();
         for i in 0..8 {
-            sys.submit(1, Transfer::new(0, 100 + i, 254, 10_000)).unwrap();
+            sys.submit(1, Transfer::new(0, 100 + i, 254, 10_000))
+                .unwrap();
         }
         sys.submit(0, Transfer::new(1, 1, 256, 4)).unwrap();
         sys.run(4);

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 
 use ioguard_hypervisor::gsched::GschedPolicy;
-use ioguard_hypervisor::hypervisor::{
-    Hypervisor, HypervisorParams, PchannelReclaim, RtJob,
-};
+use ioguard_hypervisor::hypervisor::{Hypervisor, HypervisorParams, PchannelReclaim, RtJob};
 use ioguard_hypervisor::pchannel::{PChannel, PredefinedTask};
 use ioguard_hypervisor::pool::{IoPool, PoolEntry};
 use ioguard_sched::task::{PeriodicServer, SporadicTask};
@@ -24,6 +22,86 @@ fn arb_predefined_set() -> impl Strategy<Value = Vec<PredefinedTask>> {
         }),
         0..=3,
     )
+}
+
+/// Long-run cross-check of the incremental shadow register against a naive
+/// linear-scan model: 10 000 randomized insert/execute/expire operations,
+/// verifying `shadow()`/`shadow_key()` equal the scan minimum (ties by task
+/// id) after every single operation.
+#[test]
+fn pool_shadow_matches_naive_model_over_10k_ops() {
+    let mut pool = IoPool::new(32);
+    let mut model: Vec<(u64, u64, u64)> = Vec::new(); // (deadline, task_id, remaining)
+    let mut state = 0x5AD0_11E6_u64;
+    let mut rand = move |m: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % m
+    };
+    let mut next_id = 0u64;
+    let mut now = 0u64;
+    for step in 0..10_000u64 {
+        match rand(8) {
+            0..=3 => {
+                next_id += 1;
+                let deadline = now + 1 + rand(200);
+                let remaining = 1 + rand(4);
+                let admitted = pool
+                    .insert(PoolEntry {
+                        task_id: next_id,
+                        deadline,
+                        remaining,
+                        enqueued_at: now,
+                        response_bytes: 0,
+                        critical: true,
+                    })
+                    .is_ok();
+                assert_eq!(admitted, model.len() < 32, "step {step}: admission");
+                if admitted {
+                    model.push((deadline, next_id, remaining));
+                }
+            }
+            4..=5 => {
+                if !pool.is_empty() {
+                    let completed = pool.execute_slot();
+                    let (i, _) = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(d, id, _))| (d, id))
+                        .expect("model non-empty");
+                    model[i].2 -= 1;
+                    assert_eq!(completed.is_some(), model[i].2 == 0, "step {step}");
+                    if model[i].2 == 0 {
+                        let (d, id, _) = model.swap_remove(i);
+                        let done = completed.expect("completed");
+                        assert_eq!((done.deadline, done.task_id), (d, id));
+                    }
+                }
+            }
+            _ => {
+                now += rand(40);
+                let missed = pool.expire(now);
+                let mut expected: Vec<(u64, u64)> = model
+                    .iter()
+                    .filter(|&&(d, _, _)| d <= now)
+                    .map(|&(d, id, _)| (d, id))
+                    .collect();
+                expected.sort_unstable();
+                let got: Vec<(u64, u64)> = missed.iter().map(|e| (e.deadline, e.task_id)).collect();
+                assert_eq!(got, expected, "step {step}: expiry set and order");
+                model.retain(|&(d, _, _)| d > now);
+            }
+        }
+        let naive = model.iter().map(|&(d, id, _)| (d, id)).min();
+        assert_eq!(pool.shadow_key(), naive, "step {step}");
+        assert_eq!(
+            pool.shadow().map(|e| (e.deadline, e.task_id)),
+            naive,
+            "step {step}"
+        );
+        assert_eq!(pool.len(), model.len(), "step {step}");
+    }
 }
 
 proptest! {
@@ -84,13 +162,16 @@ proptest! {
         }
     }
 
-    /// Pool EDF invariant: the shadow register always holds the minimum
-    /// deadline among buffered entries, under arbitrary insert/execute
-    /// interleavings.
+    /// Pool EDF invariant: the incrementally maintained shadow register
+    /// always holds the minimum `(deadline, task_id)` among buffered
+    /// entries, under arbitrary insert/execute/expire interleavings.
     #[test]
-    fn pool_shadow_is_always_min(ops in prop::collection::vec((0u8..4, 1u64..100, 1u64..4), 1..60)) {
+    fn pool_shadow_is_always_min(
+        ops in prop::collection::vec((0u8..6, 1u64..100, 1u64..4), 1..60),
+    ) {
         let mut pool = IoPool::new(16);
         let mut next_id = 0u64;
+        let mut now = 0u64;
         for (op, deadline, wcet) in ops {
             match op {
                 0..=2 => {
@@ -104,19 +185,31 @@ proptest! {
                         critical: true,
                     });
                 }
-                _ => {
+                3..=4 => {
                     if !pool.is_empty() {
                         let _ = pool.execute_slot();
                     }
                 }
+                _ => {
+                    // Advance the clock and expire: removals must come back
+                    // earliest-deadline-first and leave the register valid.
+                    now = now.max(deadline / 2);
+                    let missed = pool.expire(now);
+                    prop_assert!(
+                        missed.windows(2).all(|w| (w[0].deadline, w[0].task_id)
+                            <= (w[1].deadline, w[1].task_id)),
+                        "expiry order"
+                    );
+                    prop_assert!(missed.iter().all(|e| e.deadline <= now));
+                }
             }
+            let min = pool.iter().map(|e| (e.deadline, e.task_id)).min();
+            prop_assert_eq!(pool.shadow_key(), min);
             if let Some(shadow) = pool.shadow() {
-                let min = pool
-                    .iter()
-                    .map(|e| (e.deadline, e.task_id))
-                    .min()
-                    .expect("non-empty");
-                prop_assert_eq!((shadow.deadline, shadow.task_id), min);
+                prop_assert_eq!(
+                    Some((shadow.deadline, shadow.task_id)),
+                    min
+                );
             }
         }
     }

@@ -161,7 +161,11 @@ impl Network {
     /// Aggregate statistics.
     pub fn stats(&self) -> NetworkStats {
         let mut s = self.stats;
-        s.contention_cycles = self.routers.iter().map(|r| r.stats().contention_cycles).sum();
+        s.contention_cycles = self
+            .routers
+            .iter()
+            .map(|r| r.stats().contention_cycles)
+            .sum();
         s
     }
 
@@ -187,7 +191,9 @@ impl Network {
         let flits = Flit::stream(&packet);
         // A packet longer than the whole NI buffer is admitted only into an
         // empty queue (it drains through the router as it injects).
-        if q.len() + flits.len() > self.injection_depth.max(flits.len()) || (!q.is_empty() && q.len() + flits.len() > self.injection_depth) {
+        if q.len() + flits.len() > self.injection_depth.max(flits.len())
+            || (!q.is_empty() && q.len() + flits.len() > self.injection_depth)
+        {
             return Err(NocError::InjectionQueueFull { node: packet.src() });
         }
         self.in_flight.insert(
@@ -213,11 +219,9 @@ impl Network {
                 // Who owns (or wants) this output?
                 let granted_input = match self.routers[idx].lock(out) {
                     Some(input) => {
-                        // The locked input's head flit continues the packet.
-                        match self.routers[idx].head(input) {
-                            Some(_) => Some(input),
-                            None => None, // nothing buffered yet this cycle
-                        }
+                        // The locked input's head flit continues the packet;
+                        // with nothing buffered yet this cycle, no move.
+                        self.routers[idx].head(input).map(|_| input)
                     }
                     None => {
                         // Header arbitration: inputs whose head is a header
@@ -397,7 +401,8 @@ mod tests {
     fn local_delivery_same_node() {
         let mut n = net(3, 3);
         let node = NodeId::new(1, 1);
-        n.inject(Packet::request(7, node, node, 2).unwrap()).unwrap();
+        n.inject(Packet::request(7, node, node, 2).unwrap())
+            .unwrap();
         let out = n.run_until_idle(100);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].packet.id(), 7);
@@ -528,7 +533,10 @@ mod tests {
         // 3-flit packets: the first fits, the second overflows the 4-slot NI.
         n.inject(Packet::request(1, src, dst, 2).unwrap()).unwrap();
         let r = n.inject(Packet::request(2, src, dst, 2).unwrap());
-        assert!(matches!(r, Err(NocError::InjectionQueueFull { .. })), "{r:?}");
+        assert!(
+            matches!(r, Err(NocError::InjectionQueueFull { .. })),
+            "{r:?}"
+        );
     }
 
     #[test]
@@ -556,8 +564,15 @@ mod tests {
                 .unwrap();
             }
             n.inject(
-                Packet::new(1, PacketKind::IoResponse, NodeId::new(0, 2), NodeId::new(4, 2), 8, 0)
-                    .unwrap(),
+                Packet::new(
+                    1,
+                    PacketKind::IoResponse,
+                    NodeId::new(0, 2),
+                    NodeId::new(4, 2),
+                    8,
+                    0,
+                )
+                .unwrap(),
             )
             .unwrap();
             let out = n.run_until_idle(100_000);

@@ -68,7 +68,12 @@ impl Packet {
     /// # Errors
     ///
     /// See [`Packet::new`].
-    pub fn request(id: u64, src: NodeId, dst: NodeId, payload_flits: u32) -> Result<Self, NocError> {
+    pub fn request(
+        id: u64,
+        src: NodeId,
+        dst: NodeId,
+        payload_flits: u32,
+    ) -> Result<Self, NocError> {
         Self::new(id, PacketKind::IoRequest, src, dst, payload_flits, 0)
     }
 

@@ -201,9 +201,8 @@ impl Mesh {
     /// Iterates over all node ids in row-major order.
     pub fn iter_nodes(self) -> impl Iterator<Item = NodeId> {
         let width = self.width;
-        (0..self.nodes()).map(move |i| {
-            NodeId::new((i % width as usize) as u16, (i / width as usize) as u16)
-        })
+        (0..self.nodes())
+            .map(move |i| NodeId::new((i % width as usize) as u16, (i / width as usize) as u16))
     }
 }
 
@@ -260,7 +259,10 @@ mod tests {
         assert_eq!(m.neighbor(corner, Direction::North), None);
         assert_eq!(m.neighbor(corner, Direction::West), None);
         assert_eq!(m.neighbor(corner, Direction::East), Some(NodeId::new(1, 0)));
-        assert_eq!(m.neighbor(corner, Direction::South), Some(NodeId::new(0, 1)));
+        assert_eq!(
+            m.neighbor(corner, Direction::South),
+            Some(NodeId::new(0, 1))
+        );
         assert_eq!(m.neighbor(corner, Direction::Local), None);
         let far = NodeId::new(2, 2);
         assert_eq!(m.neighbor(far, Direction::East), None);

@@ -124,9 +124,10 @@ pub fn run_load_point(config: &SweepConfig, offered_load: f64) -> Result<LoadPoi
     for _ in 0..config.warm_cycles {
         for src in mesh.iter_nodes().collect::<Vec<_>>() {
             if rng.chance(packet_prob) {
-                if let Some(dst) = config
-                    .pattern
-                    .destination(src, mesh.width(), mesh.height(), &mut rng)
+                if let Some(dst) =
+                    config
+                        .pattern
+                        .destination(src, mesh.width(), mesh.height(), &mut rng)
                 {
                     let packet = Packet::new(
                         next_id,
@@ -227,10 +228,7 @@ mod tests {
     fn uniform_never_self_addresses() {
         let mut rng = Xoshiro256StarStar::new(9);
         for _ in 0..500 {
-            let src = NodeId::new(
-                rng.range_u64(0, 4) as u16,
-                rng.range_u64(0, 4) as u16,
-            );
+            let src = NodeId::new(rng.range_u64(0, 4) as u16, rng.range_u64(0, 4) as u16);
             let dst = TrafficPattern::UniformRandom
                 .destination(src, 4, 4, &mut rng)
                 .expect("uniform always sends");

@@ -11,32 +11,30 @@ fn arb_mesh_dims() -> impl Strategy<Value = (u16, u16)> {
 }
 
 fn arb_packets(w: u16, h: u16) -> impl Strategy<Value = Vec<Packet>> {
-    prop::collection::vec(
-        (0..w, 0..h, 0..w, 0..h, 1u32..=6, 0u8..3),
-        1..20,
+    prop::collection::vec((0..w, 0..h, 0..w, 0..h, 1u32..=6, 0u8..3), 1..20).prop_map(
+        move |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (sx, sy, dx, dy, flits, kind))| {
+                    let kind = match kind {
+                        0 => PacketKind::IoRequest,
+                        1 => PacketKind::IoResponse,
+                        _ => PacketKind::Memory,
+                    };
+                    Packet::new(
+                        i as u64 + 1,
+                        kind,
+                        NodeId::new(sx, sy),
+                        NodeId::new(dx, dy),
+                        flits,
+                        0,
+                    )
+                    .expect("flits ≥ 1")
+                })
+                .collect()
+        },
     )
-    .prop_map(move |specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (sx, sy, dx, dy, flits, kind))| {
-                let kind = match kind {
-                    0 => PacketKind::IoRequest,
-                    1 => PacketKind::IoResponse,
-                    _ => PacketKind::Memory,
-                };
-                Packet::new(
-                    i as u64 + 1,
-                    kind,
-                    NodeId::new(sx, sy),
-                    NodeId::new(dx, dy),
-                    flits,
-                    0,
-                )
-                .expect("flits ≥ 1")
-            })
-            .collect()
-    })
 }
 
 proptest! {

@@ -103,6 +103,9 @@ pub const IOGUARD_FORWARDER: SoftwareLayer = SoftwareLayer {
 mod tests {
     use super::*;
 
+    // The asserted relations are between consts on purpose: the test
+    // documents the calibration ordering and fails loudly if it drifts.
+    #[allow(clippy::assertions_on_constants)]
     #[test]
     fn fixed_costs_reflect_layer_weight() {
         // The trap is the single most expensive software step.

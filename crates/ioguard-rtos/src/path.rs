@@ -120,8 +120,14 @@ mod tests {
         // RT-Xen ≫ Legacy > BV > I/O-GUARD for any payload.
         for payload in [0u32, 64, 512, 1500] {
             let cost = |s| IoPath::for_system(s).round_trip_cycles(payload);
-            assert!(cost(SystemKind::RtXen) > cost(SystemKind::Legacy), "{payload}");
-            assert!(cost(SystemKind::Legacy) > cost(SystemKind::BlueVisor), "{payload}");
+            assert!(
+                cost(SystemKind::RtXen) > cost(SystemKind::Legacy),
+                "{payload}"
+            );
+            assert!(
+                cost(SystemKind::Legacy) > cost(SystemKind::BlueVisor),
+                "{payload}"
+            );
             assert!(
                 cost(SystemKind::BlueVisor) > cost(SystemKind::IoGuard),
                 "{payload}"

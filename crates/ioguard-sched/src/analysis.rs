@@ -128,11 +128,7 @@ impl TwoLayerAnalysis {
     ///
     /// Propagates [`SchedError::SlackTooSmall`] when a layer's slack
     /// precondition fails.
-    pub fn schedulable_pseudo(
-        &self,
-        c: f64,
-        c_prime: f64,
-    ) -> Result<TwoLayerVerdict, SchedError> {
+    pub fn schedulable_pseudo(&self, c: f64, c_prime: f64) -> Result<TwoLayerVerdict, SchedError> {
         let global = theorem2_pseudo_poly(&self.sigma, &self.servers, c)?;
         let mut per_vm = Vec::with_capacity(self.servers.len());
         for (server, tasks) in self.servers.iter().zip(&self.task_sets) {

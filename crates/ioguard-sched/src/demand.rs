@@ -6,6 +6,11 @@
 //!   under the periodic resource model (Shin & Lee 2003).
 //! * `dbf(τ_k, t) = (⌊(t − D_k)/T_k⌋ + 1)·C_k` — Eq. 9, the demand of a
 //!   sporadic constrained-deadline task.
+//! * [`DemandSweep`] — the merged step-event stream the theorem checkers
+//!   iterate instead of re-summing the dbf at every checkpoint.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::task::{PeriodicServer, SporadicTask, TaskSet};
 
@@ -100,6 +105,104 @@ pub fn dbf_task(task: &SporadicTask, t: u64) -> u64 {
 /// Theorem 3.
 pub fn dbf_tasks(tasks: &TaskSet, t: u64) -> u64 {
     tasks.iter().map(|task| dbf_task(task, t)).sum()
+}
+
+/// Merged step-event sweep over a summed demand bound function.
+///
+/// The theorem checkers walk the jump points of `Σ dbf(·, t)` in ascending
+/// `t` and compare the demand against the supply at each. Re-evaluating the
+/// full sum at every checkpoint costs O(n) per point (and materializing the
+/// sorted checkpoint vector costs O(P log P) up front); this iterator merges
+/// the per-source event streams with a small heap and carries the running
+/// sum forward instead — O(log n) per jump point, no checkpoint vector.
+///
+/// Demand bound functions are right-continuous step functions, so each
+/// yielded item `(t, demand)` includes every step at `t` itself, exactly as
+/// [`dbf_servers`]`(servers, t)` / [`dbf_tasks`]`(tasks, t)` would report.
+///
+/// # Example
+///
+/// ```
+/// use ioguard_sched::demand::{dbf_servers, DemandSweep};
+/// use ioguard_sched::task::PeriodicServer;
+///
+/// let servers = [PeriodicServer::new(4, 1)?, PeriodicServer::new(6, 2)?];
+/// for (t, demand) in DemandSweep::servers(&servers, 24) {
+///     assert_eq!(demand, dbf_servers(&servers, t));
+/// }
+/// # Ok::<(), ioguard_sched::SchedError>(())
+/// ```
+pub struct DemandSweep {
+    /// `(next jump point, source index)` min-heap.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Per-source `(stride, step)`: the source jumps by `step` every
+    /// `stride` slots.
+    sources: Vec<(u64, u64)>,
+    /// Inclusive sweep bound; events past it are dropped.
+    bound: u64,
+    /// Running `Σ dbf` including every event emitted so far.
+    demand: u64,
+}
+
+impl DemandSweep {
+    /// Sweep of `Σ dbf(Γ_i, ·)` (Eq. 3) over `(0, bound]`: source `i` steps
+    /// by `Θ_i` at every multiple of `Π_i`.
+    pub fn servers(servers: &[PeriodicServer], bound: u64) -> Self {
+        Self::from_sources(
+            servers.iter().map(|s| (s.period(), s.period(), s.budget())),
+            bound,
+        )
+    }
+
+    /// Sweep of `Σ dbf(τ_k, ·)` (Eq. 9) over `(0, bound]`: source `k` steps
+    /// by `C_k` at `D_k + m·T_k`.
+    pub fn tasks(tasks: &TaskSet, bound: u64) -> Self {
+        Self::from_sources(
+            tasks.iter().map(|t| (t.deadline(), t.period(), t.wcet())),
+            bound,
+        )
+    }
+
+    fn from_sources(sources_iter: impl Iterator<Item = (u64, u64, u64)>, bound: u64) -> Self {
+        let mut heap = BinaryHeap::new();
+        let mut sources = Vec::new();
+        for (start, stride, step) in sources_iter {
+            let idx = sources.len();
+            sources.push((stride, step));
+            if start <= bound {
+                heap.push(Reverse((start, idx)));
+            }
+        }
+        Self {
+            heap,
+            sources,
+            bound,
+            demand: 0,
+        }
+    }
+}
+
+impl Iterator for DemandSweep {
+    type Item = (u64, u64);
+
+    /// The next distinct jump point and the total demand there. Sources
+    /// that coincide at `t` are folded into one item.
+    fn next(&mut self) -> Option<(u64, u64)> {
+        let Reverse((t, _)) = *self.heap.peek()?;
+        while let Some(&Reverse((at, idx))) = self.heap.peek() {
+            if at != t {
+                break;
+            }
+            self.heap.pop();
+            let (stride, step) = self.sources[idx];
+            self.demand += step;
+            match at.checked_add(stride) {
+                Some(next) if next <= self.bound => self.heap.push(Reverse((next, idx))),
+                _ => {}
+            }
+        }
+        Some((t, self.demand))
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +357,87 @@ mod tests {
         let t = 1_000_000;
         let rate = dbf_task(&tau, t) as f64 / t as f64;
         assert!((rate - 0.3).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sweep_visits_every_server_jump_with_exact_demand() {
+        let servers = [server(4, 1), server(6, 2), server(6, 3)];
+        let bound = 48;
+        // Expected jump points: multiples of any period within (0, bound].
+        let mut expected: Vec<u64> = (1..=bound)
+            .filter(|t| servers.iter().any(|s| t % s.period() == 0))
+            .collect();
+        expected.dedup();
+        let swept: Vec<(u64, u64)> = DemandSweep::servers(&servers, bound).collect();
+        assert_eq!(swept.iter().map(|&(t, _)| t).collect::<Vec<_>>(), expected);
+        for (t, demand) in swept {
+            assert_eq!(demand, dbf_servers(&servers, t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn sweep_visits_every_task_jump_with_exact_demand() {
+        let ts: TaskSet = vec![task(10, 2, 6), task(7, 1, 7), task(10, 3, 6)].into();
+        let bound = 100;
+        let mut expected: Vec<u64> = (1..=bound)
+            .filter(|&t| {
+                ts.iter()
+                    .any(|k| t >= k.deadline() && (t - k.deadline()) % k.period() == 0)
+            })
+            .collect();
+        expected.dedup();
+        let swept: Vec<(u64, u64)> = DemandSweep::tasks(&ts, bound).collect();
+        assert_eq!(swept.iter().map(|&(t, _)| t).collect::<Vec<_>>(), expected);
+        for (t, demand) in swept {
+            assert_eq!(demand, dbf_tasks(&ts, t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_out_of_bound_sources() {
+        assert_eq!(DemandSweep::servers(&[], 1000).count(), 0);
+        assert_eq!(DemandSweep::tasks(&TaskSet::new(), 1000).count(), 0);
+        // First jump beyond the bound: nothing to visit.
+        assert_eq!(DemandSweep::servers(&[server(50, 1)], 49).count(), 0);
+        // Bound inclusive: the jump at exactly `bound` is visited.
+        let at_bound: Vec<(u64, u64)> = DemandSweep::servers(&[server(50, 1)], 50).collect();
+        assert_eq!(at_bound, vec![(50, 1)]);
+    }
+
+    #[test]
+    fn sweep_random_systems_match_pointwise_recomputation() {
+        let mut state = 0xD1CEu64;
+        let mut rand = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for _ in 0..50 {
+            let n = 1 + rand(4);
+            let servers: Vec<PeriodicServer> = (0..n)
+                .map(|_| {
+                    let pi = 2 + rand(20);
+                    server(pi, 1 + rand(pi))
+                })
+                .collect();
+            let bound = 1 + rand(400);
+            for (t, demand) in DemandSweep::servers(&servers, bound) {
+                assert_eq!(demand, dbf_servers(&servers, t));
+                assert!(t <= bound);
+            }
+            let mut ts = TaskSet::new();
+            for _ in 0..n {
+                let period = 5 + rand(30);
+                let c = 1 + rand(4.min(period));
+                let d = c + rand(period - c + 1);
+                ts.push(task(period, c, d));
+            }
+            for (t, demand) in DemandSweep::tasks(&ts, bound) {
+                assert_eq!(demand, dbf_tasks(&ts, t));
+                assert!(t <= bound);
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ impl SynthesisConfig {
     /// Candidates = all divisors of `h` (≥ 2), which keeps the G-Sched
     /// hyper-period equal to `H` itself.
     pub fn divisors_of(h: u64) -> Self {
-        let mut candidate_periods: Vec<u64> = (2..=h).filter(|d| h % d == 0).collect();
+        let mut candidate_periods: Vec<u64> = (2..=h).filter(|d| h.is_multiple_of(*d)).collect();
         if candidate_periods.is_empty() {
             candidate_periods.push(h.max(1));
         }
@@ -82,11 +82,7 @@ impl std::error::Error for SynthesisFailure {
 
 /// For one VM: the minimal budget `Θ` for period `Π` that passes Theorem 3,
 /// found by binary search (`sbf(Γ, ·)` is monotone in `Θ`).
-fn minimal_budget(
-    period: u64,
-    tasks: &TaskSet,
-    max_hyper: u64,
-) -> Result<Option<u64>, SchedError> {
+fn minimal_budget(period: u64, tasks: &TaskSet, max_hyper: u64) -> Result<Option<u64>, SchedError> {
     // Quick reject: even the full budget fails.
     let full = PeriodicServer::new(period, period).expect("Θ = Π is valid");
     match theorem3_exact(&full, tasks, max_hyper) {
@@ -194,8 +190,7 @@ pub fn synthesize_servers(
                 let mut best: Option<(usize, f64)> = None;
                 for (i, cands) in candidates.iter().enumerate() {
                     if cursor[i] + 1 < cands.len() {
-                        let delta =
-                            cands[cursor[i] + 1].bandwidth() - cands[cursor[i]].bandwidth();
+                        let delta = cands[cursor[i] + 1].bandwidth() - cands[cursor[i]].bandwidth();
                         if best.is_none() || delta < best.expect("checked").1 {
                             best = Some((i, delta));
                         }
@@ -260,8 +255,7 @@ mod tests {
             TaskSet::from(vec![task(36, 3, 30)]),
             TaskSet::from(vec![task(60, 2, 48)]),
         ];
-        let servers =
-            synthesize_servers(&sigma, &vms, &SynthesisConfig::divisors_of(12)).unwrap();
+        let servers = synthesize_servers(&sigma, &vms, &SynthesisConfig::divisors_of(12)).unwrap();
         let analysis = TwoLayerAnalysis::new(sigma, servers, vms).unwrap();
         assert!(analysis.schedulable().unwrap().is_schedulable());
     }
@@ -296,8 +290,7 @@ mod tests {
             TaskSet::from(vec![task(16, 2, 12)]),
             TaskSet::from(vec![task(32, 4, 24)]),
         ];
-        let servers =
-            synthesize_servers(&sigma, &vms, &SynthesisConfig::divisors_of(8)).unwrap();
+        let servers = synthesize_servers(&sigma, &vms, &SynthesisConfig::divisors_of(8)).unwrap();
         let horizon = 1600;
         let traces: Vec<_> = vms
             .iter()
@@ -315,6 +308,8 @@ mod tests {
         assert!(f.source().is_none());
         let f = SynthesisFailure::Analysis(SchedError::HyperPeriodOverflow { limit: 0 });
         assert!(f.source().is_some());
-        assert!(SynthesisFailure::GlobalInfeasible.to_string().contains("global"));
+        assert!(SynthesisFailure::GlobalInfeasible
+            .to_string()
+            .contains("global"));
     }
 }

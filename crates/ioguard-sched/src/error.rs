@@ -62,7 +62,10 @@ impl fmt::Display for SchedError {
             ),
             SchedError::HyperPeriodOverflow { limit } => {
                 if *limit == 0 {
-                    write!(f, "hyper-period overflows u64; use the pseudo-polynomial test")
+                    write!(
+                        f,
+                        "hyper-period overflows u64; use the pseudo-polynomial test"
+                    )
                 } else {
                     write!(f, "hyper-period exceeds the configured limit {limit}")
                 }

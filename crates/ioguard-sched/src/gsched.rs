@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::demand::dbf_servers;
+use crate::demand::DemandSweep;
 use crate::error::SchedError;
 use crate::table::TimeSlotTable;
 use crate::task::{checked_lcm, PeriodicServer};
@@ -41,23 +41,11 @@ impl GschedVerdict {
     }
 }
 
-/// Checkpoints where `Σ dbf(Γ_i, ·)` jumps: the multiples of each `Π_i`
-/// within `(0, bound]`, deduplicated and sorted. Demand is a right-continuous
-/// step function that only increases at these points and supply is
-/// non-decreasing, so checking the jump points is exact.
-fn demand_checkpoints(servers: &[PeriodicServer], bound: u64) -> Vec<u64> {
-    let mut points = Vec::new();
-    for server in servers {
-        let mut t = server.period();
-        while t <= bound {
-            points.push(t);
-            t += server.period();
-        }
-    }
-    points.sort_unstable();
-    points.dedup();
-    points
-}
+// Demand is a right-continuous step function that only increases at the
+// multiples of the `Π_i` and supply is non-decreasing, so checking the jump
+// points is exact. `DemandSweep::servers` merges the per-server event
+// streams and carries the running demand, so each jump point costs O(log n)
+// instead of an O(n) re-summation.
 
 /// **Theorem 1** (exact): servers `{Γ_i}` are guaranteed their budgets on σ
 /// iff `Σ dbf(Γ_i, t) ≤ sbf(σ, t)` for all `t ≥ 0`.
@@ -104,8 +92,7 @@ pub fn theorem1_exact(
     }
     if bandwidth > sigma.free_fraction() + 1e-12 {
         // Find the violation constructively for the report: scan multiples.
-        for t in demand_checkpoints(servers, hyper.saturating_mul(4)) {
-            let demand = dbf_servers(servers, t);
+        for (t, demand) in DemandSweep::servers(servers, hyper.saturating_mul(4)) {
             let supply = sigma.sbf(t);
             if demand > supply {
                 return Ok(GschedVerdict::Unschedulable {
@@ -119,8 +106,7 @@ pub fn theorem1_exact(
         // only happen with floating-point hair-splitting; treat the exact
         // integer arithmetic as authoritative.
     }
-    for t in demand_checkpoints(servers, hyper) {
-        let demand = dbf_servers(servers, t);
+    for (t, demand) in DemandSweep::servers(servers, hyper) {
         let supply = sigma.sbf(t);
         if demand > supply {
             return Ok(GschedVerdict::Unschedulable {
@@ -166,17 +152,13 @@ pub fn theorem2_pseudo_poly(
     let bandwidth: f64 = servers.iter().map(PeriodicServer::bandwidth).sum();
     let slack = sigma.free_fraction() - bandwidth;
     if slack < c {
-        return Err(SchedError::SlackTooSmall {
-            slack,
-            required: c,
-        });
+        return Err(SchedError::SlackTooSmall { slack, required: c });
     }
     let f = sigma.free_slots() as f64;
     let h = sigma.len() as f64;
     // Theorem 2 bound: t* < F·(H−1)/H / c.
     let bound = (f * (h - 1.0) / h / c).ceil() as u64;
-    for t in demand_checkpoints(servers, bound) {
-        let demand = dbf_servers(servers, t);
+    for (t, demand) in DemandSweep::servers(servers, bound) {
         let supply = sigma.sbf(t);
         if demand > supply {
             return Ok(GschedVerdict::Unschedulable {
@@ -258,7 +240,9 @@ mod tests {
         // agree with theorem 1 verdicts exactly.
         let mut state = 0x1234_5678_u64;
         let mut rand = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         let mut applicable = 0;

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::demand::{dbf_tasks, sbf_server};
+use crate::demand::{sbf_server, DemandSweep};
 use crate::error::SchedError;
 use crate::task::{checked_lcm, PeriodicServer, TaskSet};
 
@@ -39,21 +39,9 @@ impl LschedVerdict {
     }
 }
 
-/// Checkpoints where `Σ dbf(τ_k, ·)` jumps: `t = D_k + m·T_k` for each task,
-/// within `(0, bound]`, deduplicated and sorted.
-fn demand_checkpoints(tasks: &TaskSet, bound: u64) -> Vec<u64> {
-    let mut points = Vec::new();
-    for task in tasks {
-        let mut t = task.deadline();
-        while t <= bound {
-            points.push(t);
-            t += task.period();
-        }
-    }
-    points.sort_unstable();
-    points.dedup();
-    points
-}
+// `Σ dbf(τ_k, ·)` jumps at `t = D_k + m·T_k`; `DemandSweep::tasks` merges
+// the per-task event streams and carries the running demand, so each jump
+// point costs O(log n) instead of an O(n) re-summation.
 
 /// **Theorem 3** (exact): all jobs of a VM backed by `Γ_i` meet their
 /// deadlines iff `Σ dbf(τ_k, t) ≤ sbf(Γ_i, t)` for all `t ≥ 0`.
@@ -105,8 +93,7 @@ pub fn theorem3_exact(
     let supply_rate = (hyper / server.period()) * server.budget();
     if demand_rate > supply_rate {
         // Constructive violation search within a few hyper-periods.
-        for t in demand_checkpoints(tasks, bound.saturating_mul(4)) {
-            let demand = dbf_tasks(tasks, t);
+        for (t, demand) in DemandSweep::tasks(tasks, bound.saturating_mul(4)) {
             let supply = sbf_server(server, t);
             if demand > supply {
                 return Ok(LschedVerdict::Unschedulable {
@@ -117,8 +104,7 @@ pub fn theorem3_exact(
             }
         }
     }
-    for t in demand_checkpoints(tasks, bound) {
-        let demand = dbf_tasks(tasks, t);
+    for (t, demand) in DemandSweep::tasks(tasks, bound) {
         let supply = sbf_server(server, t);
         if demand > supply {
             return Ok(LschedVerdict::Unschedulable {
@@ -169,8 +155,7 @@ pub fn theorem4_pseudo_poly(
     let numerator =
         (tasks.max_period_minus_deadline() + 2 * server.period() - server.budget() - 1) as f64;
     let bound = (numerator / c_prime).ceil() as u64;
-    for t in demand_checkpoints(tasks, bound) {
-        let demand = dbf_tasks(tasks, t);
+    for (t, demand) in DemandSweep::tasks(tasks, bound) {
         let supply = sbf_server(server, t);
         if demand > supply {
             return Ok(LschedVerdict::Unschedulable {
@@ -243,7 +228,9 @@ mod tests {
     fn theorems_3_and_4_agree_on_random_systems() {
         let mut state = 0xDEAD_BEEF_u64;
         let mut rand = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         let mut applicable = 0;

@@ -124,10 +124,7 @@ impl TimeSlotTable {
     /// * [`SchedError::InvalidTable`] if the tasks do not fit (a pre-defined
     ///   job would miss its deadline), since the P-channel guarantees its
     ///   tasks by construction.
-    pub fn from_predefined_tasks(
-        tasks: &[SporadicTask],
-        max_len: u64,
-    ) -> Result<Self, SchedError> {
+    pub fn from_predefined_tasks(tasks: &[SporadicTask], max_len: u64) -> Result<Self, SchedError> {
         let hyper = tasks
             .iter()
             .map(SporadicTask::period)

@@ -32,6 +32,10 @@ impl SplitMix64 {
     }
 
     /// Returns the next value in the stream.
+    ///
+    /// Deliberately named like `Iterator::next`: the stream is infinite, so
+    /// an `Option`-returning iterator would only add unwraps at call sites.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -109,10 +113,7 @@ impl Xoshiro256StarStar {
 
     #[inline]
     fn step(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

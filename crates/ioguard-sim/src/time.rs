@@ -288,7 +288,10 @@ mod tests {
     #[test]
     fn saturating_and_checked_ops() {
         assert_eq!(Slots::new(1).saturating_sub(Slots::new(5)), Slots::ZERO);
-        assert_eq!(Slots::new(5).checked_sub(Slots::new(1)), Some(Slots::new(4)));
+        assert_eq!(
+            Slots::new(5).checked_sub(Slots::new(1)),
+            Some(Slots::new(4))
+        );
         assert_eq!(Slots::new(1).checked_sub(Slots::new(5)), None);
         assert_eq!(Slots::MAX.saturating_add(Slots::new(1)), Slots::MAX);
         assert_eq!(Slots::MAX.checked_add(Slots::new(1)), None);

@@ -1,0 +1,96 @@
+//! Property tests for [`OnlineStats::merge`] — the parallel-reduction path
+//! the experiment engine aggregates per-worker accumulators with.
+//!
+//! A merge of disjoint accumulators must agree with pushing every sample
+//! into one accumulator: exactly for the order-independent fields (count,
+//! min, max) and to floating-point tolerance for the Welford fields (mean,
+//! variance), whose summation order legitimately differs.
+
+use proptest::prelude::*;
+
+use ioguard_sim::stats::OnlineStats;
+
+fn pushed(samples: &[f64]) -> OnlineStats {
+    let mut s = OnlineStats::new();
+    for &v in samples {
+        s.push(v);
+    }
+    s
+}
+
+fn close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// merge(A, B) over a split of one sample vector equals pushing the
+    /// whole vector sequentially.
+    #[test]
+    fn merge_of_any_split_matches_sequential_push(
+        samples in arb_samples(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let cut = ((samples.len() as f64) * cut_fraction) as usize;
+        let mut merged = pushed(&samples[..cut]);
+        merged.merge(&pushed(&samples[cut..]));
+        let reference = pushed(&samples);
+        prop_assert_eq!(merged.count(), reference.count());
+        prop_assert_eq!(merged.min(), reference.min());
+        prop_assert_eq!(merged.max(), reference.max());
+        prop_assert!(close(merged.mean(), reference.mean()),
+            "mean {} vs {}", merged.mean(), reference.mean());
+        prop_assert!(close(merged.population_variance(), reference.population_variance()),
+            "variance {} vs {}", merged.population_variance(), reference.population_variance());
+    }
+
+    /// Many-way merge (the engine merges one accumulator per worker).
+    #[test]
+    fn multiway_merge_matches_sequential_push(
+        chunks in prop::collection::vec(arb_samples(), 1..8),
+    ) {
+        let mut merged = OnlineStats::new();
+        for chunk in &chunks {
+            merged.merge(&pushed(chunk));
+        }
+        let all: Vec<f64> = chunks.iter().flatten().copied().collect();
+        let reference = pushed(&all);
+        prop_assert_eq!(merged.count(), reference.count());
+        prop_assert_eq!(merged.min(), reference.min());
+        prop_assert_eq!(merged.max(), reference.max());
+        prop_assert!(close(merged.mean(), reference.mean()));
+        prop_assert!(close(merged.std_dev(), reference.std_dev()));
+    }
+
+    /// Merging an empty accumulator is the identity, in both directions.
+    #[test]
+    fn empty_merge_is_identity(samples in arb_samples()) {
+        let reference = pushed(&samples);
+        let mut left = pushed(&samples);
+        left.merge(&OnlineStats::new());
+        prop_assert_eq!(left, reference);
+        let mut right = OnlineStats::new();
+        right.merge(&reference);
+        prop_assert_eq!(right, reference);
+    }
+
+    /// Merge order does not change the result beyond floating-point noise.
+    #[test]
+    fn merge_is_commutative_up_to_rounding(a in arb_samples(), b in arb_samples()) {
+        let mut ab = pushed(&a);
+        ab.merge(&pushed(&b));
+        let mut ba = pushed(&b);
+        ba.merge(&pushed(&a));
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+        prop_assert!(close(ab.mean(), ba.mean()));
+        prop_assert!(close(ab.population_variance(), ba.population_variance()));
+    }
+}

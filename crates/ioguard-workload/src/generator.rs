@@ -103,10 +103,10 @@ impl TrialWorkload {
         // 1. The 40-task base suite with jittered WCETs.
         for (idx, spec) in SAFETY_TASKS.iter().chain(FUNCTION_TASKS.iter()).enumerate() {
             let jitter = 1.0 + rng.range_f64(-WCET_JITTER, WCET_JITTER);
-            let wcet = ((spec.wcet_slots as f64 * jitter).round() as u64)
-                .clamp(1, spec.period_slots);
-            let task = SporadicTask::implicit(spec.period_slots, wcet)
-                .expect("catalogue tasks are valid");
+            let wcet =
+                ((spec.wcet_slots as f64 * jitter).round() as u64).clamp(1, spec.period_slots);
+            let task =
+                SporadicTask::implicit(spec.period_slots, wcet).expect("catalogue tasks are valid");
             tasks.push(TrialTask {
                 name: spec.name.to_owned(),
                 category: spec.category,
@@ -135,10 +135,9 @@ impl TrialWorkload {
                     .filter(|&p| u * p as f64 <= SYNTHETIC_MAX_WCET as f64)
                     .max()
                     .unwrap_or(SYNTHETIC_PERIODS[0]);
-                let wcet = ((u * period as f64).round() as u64)
-                    .clamp(1, SYNTHETIC_MAX_WCET.min(period));
-                let task =
-                    SporadicTask::implicit(period, wcet).expect("clamped to validity");
+                let wcet =
+                    ((u * period as f64).round() as u64).clamp(1, SYNTHETIC_MAX_WCET.min(period));
+                let task = SporadicTask::implicit(period, wcet).expect("clamped to validity");
                 let vm = rng.range_u64(0, config.vms as u64) as usize;
                 tasks.push(TrialTask {
                     name: format!("synthetic-{i}"),
@@ -277,9 +276,7 @@ mod tests {
         // The "target utilization" caveat: sampled utilization differs
         // between seeds.
         let us: Vec<f64> = (0..10)
-            .map(|s| {
-                TrialWorkload::generate(&TrialConfig::new(4, 0.8, s)).total_utilization()
-            })
+            .map(|s| TrialWorkload::generate(&TrialConfig::new(4, 0.8, s)).total_utilization())
             .collect();
         let first = us[0];
         assert!(us.iter().any(|&u| (u - first).abs() > 1e-6));

@@ -66,24 +66,66 @@ impl TaskSpec {
 pub const SAFETY_TASKS: [TaskSpec; 20] = [
     spec("crc32-frame-check", TaskCategory::Safety, 100, 1, 256, 64),
     spec("rsa32-auth", TaskCategory::Safety, 400, 5, 512, 128),
-    spec("airbag-deploy-monitor", TaskCategory::Safety, 100, 2, 128, 32),
+    spec(
+        "airbag-deploy-monitor",
+        TaskCategory::Safety,
+        100,
+        2,
+        128,
+        32,
+    ),
     spec("abs-wheel-speed", TaskCategory::Safety, 100, 2, 256, 64),
     spec("brake-pedal-sense", TaskCategory::Safety, 200, 2, 128, 64),
-    spec("steering-torque-check", TaskCategory::Safety, 200, 3, 256, 64),
-    spec("battery-cell-monitor", TaskCategory::Safety, 400, 3, 512, 64),
+    spec(
+        "steering-torque-check",
+        TaskCategory::Safety,
+        200,
+        3,
+        256,
+        64,
+    ),
+    spec(
+        "battery-cell-monitor",
+        TaskCategory::Safety,
+        400,
+        3,
+        512,
+        64,
+    ),
     spec("lane-keep-watchdog", TaskCategory::Safety, 200, 2, 512, 128),
-    spec("collision-radar-gate", TaskCategory::Safety, 100, 2, 512, 64),
+    spec(
+        "collision-radar-gate",
+        TaskCategory::Safety,
+        100,
+        2,
+        512,
+        64,
+    ),
     spec("tire-pressure-guard", TaskCategory::Safety, 800, 4, 256, 64),
     spec("ecu-heartbeat", TaskCategory::Safety, 100, 1, 64, 32),
     spec("can-gateway-police", TaskCategory::Safety, 200, 2, 512, 128),
     spec("seatbelt-interlock", TaskCategory::Safety, 400, 2, 128, 32),
     spec("door-lock-verify", TaskCategory::Safety, 800, 3, 128, 64),
-    spec("throttle-plausibility", TaskCategory::Safety, 100, 2, 256, 64),
+    spec(
+        "throttle-plausibility",
+        TaskCategory::Safety,
+        100,
+        2,
+        256,
+        64,
+    ),
     spec("yaw-rate-check", TaskCategory::Safety, 200, 2, 256, 64),
     spec("fuel-cutoff-guard", TaskCategory::Safety, 400, 3, 128, 32),
     spec("ecc-memory-scrub", TaskCategory::Safety, 800, 4, 1024, 64),
     spec("watchdog-refresh", TaskCategory::Safety, 100, 1, 64, 32),
-    spec("crypto-key-rotate", TaskCategory::Safety, 1600, 6, 1024, 256),
+    spec(
+        "crypto-key-rotate",
+        TaskCategory::Safety,
+        1600,
+        6,
+        1024,
+        256,
+    ),
 ];
 
 /// The 20 automotive **function** tasks.
@@ -97,17 +139,45 @@ pub const FUNCTION_TASKS: [TaskSpec; 20] = [
     spec("table-lookup-map", TaskCategory::Function, 200, 2, 512, 64),
     spec("idct-dashboard", TaskCategory::Function, 400, 4, 1024, 128),
     spec("iir-knock-filter", TaskCategory::Function, 100, 1, 256, 64),
-    spec("pointer-chase-diag", TaskCategory::Function, 800, 4, 512, 64),
+    spec(
+        "pointer-chase-diag",
+        TaskCategory::Function,
+        800,
+        4,
+        512,
+        64,
+    ),
     spec("pwm-injector", TaskCategory::Function, 100, 1, 128, 32),
-    spec("cache-buster-logger", TaskCategory::Function, 800, 4, 2048, 256),
-    spec("bitmanip-can-pack", TaskCategory::Function, 200, 2, 512, 128),
+    spec(
+        "cache-buster-logger",
+        TaskCategory::Function,
+        800,
+        4,
+        2048,
+        256,
+    ),
+    spec(
+        "bitmanip-can-pack",
+        TaskCategory::Function,
+        200,
+        2,
+        512,
+        128,
+    ),
     spec("basicfloat-mix", TaskCategory::Function, 400, 3, 512, 64),
     spec("tblook-ignition", TaskCategory::Function, 200, 3, 256, 64),
     spec("a2time-crank", TaskCategory::Function, 100, 1, 256, 64),
     spec("canrdr-reader", TaskCategory::Function, 200, 2, 512, 128),
     spec("puwmod-modulation", TaskCategory::Function, 400, 4, 256, 64),
     spec("rspeed-odometer", TaskCategory::Function, 800, 5, 512, 64),
-    spec("aifirf-radio-filter", TaskCategory::Function, 800, 5, 2048, 256),
+    spec(
+        "aifirf-radio-filter",
+        TaskCategory::Function,
+        800,
+        5,
+        2048,
+        256,
+    ),
 ];
 
 const fn spec(
@@ -145,7 +215,9 @@ mod tests {
     fn suites_have_twenty_tasks_each() {
         assert_eq!(SAFETY_TASKS.len(), 20);
         assert_eq!(FUNCTION_TASKS.len(), 20);
-        assert!(SAFETY_TASKS.iter().all(|t| t.category == TaskCategory::Safety));
+        assert!(SAFETY_TASKS
+            .iter()
+            .all(|t| t.category == TaskCategory::Safety));
         assert!(FUNCTION_TASKS
             .iter()
             .all(|t| t.category == TaskCategory::Function));

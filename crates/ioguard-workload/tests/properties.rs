@@ -2,10 +2,10 @@
 
 use proptest::prelude::*;
 
+use ioguard_sim::rng::Xoshiro256StarStar;
 use ioguard_workload::generator::{TrialConfig, TrialWorkload};
 use ioguard_workload::suites::TaskCategory;
 use ioguard_workload::uunifast::uunifast;
-use ioguard_sim::rng::Xoshiro256StarStar;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

@@ -21,9 +21,11 @@ fn main() {
         config.utilizations.len(),
         config.vm_groups
     );
-    println!("(each trial simulates {} slots = {:.1} s of wall-clock I/O)\n",
+    println!(
+        "(each trial simulates {} slots = {:.1} s of wall-clock I/O)\n",
         config.horizon_slots,
-        config.horizon_slots as f64 * 50e-6);
+        config.horizon_slots as f64 * 50e-6
+    );
 
     let report = Fig7Report::run(&config);
     println!("{report}");

@@ -22,7 +22,10 @@ fn main() {
 
     // The per-block breakdown behind the "Proposed" row.
     let cfg = HypervisorConfig::paper_table1();
-    println!("composition of the Proposed row ({} VMs × {} I/Os):", cfg.vms, cfg.ios);
+    println!(
+        "composition of the Proposed row ({} VMs × {} I/Os):",
+        cfg.vms, cfg.ios
+    );
     let rows = [
         ("one I/O pool", cfg.io_pool_cost()),
         ("G-Sched", cfg.gsched_cost()),

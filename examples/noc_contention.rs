@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("5x5 mesh, XY routing, wormhole switching, round-robin arbiters\n");
 
     // A probe flow crossing the middle row, with 0..8 competing flows.
-    println!("{:<12} {:>12} {:>12} {:>14}", "competitors", "probe lat", "mean lat", "contention cyc");
+    println!(
+        "{:<12} {:>12} {:>12} {:>14}",
+        "competitors", "probe lat", "mean lat", "contention cyc"
+    );
     for competitors in [0usize, 1, 2, 4, 8] {
         let mut net = Network::new(NetworkConfig::paper_platform())?;
         net.inject(Packet::request(1, NodeId::new(0, 2), NodeId::new(4, 2), 8)?)?;

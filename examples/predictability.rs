@@ -11,7 +11,10 @@ use ioguard_core::predictability::{latency_profiles, PredictabilityConfig};
 
 fn main() {
     let config = PredictabilityConfig::default();
-    println!("probe: period {} slots, wcet {} slots", config.probe_period, config.probe_wcet);
+    println!(
+        "probe: period {} slots, wcet {} slots",
+        config.probe_period, config.probe_wcet
+    );
     println!(
         "background: {} bulk jobs of {} slots every {} slots\n",
         config.background_tasks, config.background_wcet, config.background_period

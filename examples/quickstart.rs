@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let verdict = analysis.schedulable()?;
     println!(
         "two-layer admission test: {}",
-        if verdict.is_schedulable() { "SCHEDULABLE" } else { "REJECTED" }
+        if verdict.is_schedulable() {
+            "SCHEDULABLE"
+        } else {
+            "REJECTED"
+        }
     );
     println!(
         "  σ*: H = {} slots, F = {} free ({}% free)",

@@ -22,10 +22,7 @@ fn main() {
     for p in points.iter().filter(|p| p.eta >= 1) {
         let margin = (p.ioguard_area - p.legacy_area) / p.legacy_area * 100.0;
         let bar = "#".repeat((p.ioguard_area * 200.0) as usize);
-        println!(
-            "  η = {}: +{margin:>4.1}% area  {bar}",
-            p.eta
-        );
+        println!("  η = {}: +{margin:>4.1}% area  {bar}", p.eta);
         assert!(margin < 20.0, "paper bound: margin < 20%");
     }
 

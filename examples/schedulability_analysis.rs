@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --example schedulability_analysis`
 
-use ioguard_core::experiments::{
-    acceptance_ratio_sweep, theorem_agreement, SchedExperimentConfig,
-};
+use ioguard_core::experiments::{acceptance_ratio_sweep, theorem_agreement, SchedExperimentConfig};
 use ioguard_sched::demand::{dbf_server, dbf_tasks, sbf_server};
 use ioguard_sched::design::{synthesize_servers, SynthesisConfig};
 use ioguard_sched::gsched::theorem1_exact;
@@ -34,12 +32,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Per-VM workloads.
     let vms = vec![
-        TaskSet::from(vec![SporadicTask::new(24, 2, 16)?, SporadicTask::new(48, 4, 40)?]),
+        TaskSet::from(vec![
+            SporadicTask::new(24, 2, 16)?,
+            SporadicTask::new(48, 4, 40)?,
+        ]),
         TaskSet::from(vec![SporadicTask::new(36, 3, 30)?]),
         TaskSet::from(vec![SporadicTask::new(60, 3, 48)?]),
     ];
     for (i, ts) in vms.iter().enumerate() {
-        println!("VM {i}: {} tasks, utilization {:.3}", ts.len(), ts.utilization());
+        println!(
+            "VM {i}: {} tasks, utilization {:.3}",
+            ts.len(),
+            ts.utilization()
+        );
     }
 
     // Synthesize the minimum-bandwidth servers that pass both layers.
@@ -91,7 +96,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let utils: Vec<f64> = (1..=9).map(|i| 0.1 * i as f64).collect();
     for p in acceptance_ratio_sweep(&config, &utils) {
         let bar = "#".repeat((p.accepted * 40.0) as usize);
-        println!("  u = {:.1}: {:>5.1}%  {bar}", p.utilization, p.accepted * 100.0);
+        println!(
+            "  u = {:.1}: {:>5.1}%  {bar}",
+            p.utilization,
+            p.accepted * 100.0
+        );
     }
 
     // Exact vs pseudo-polynomial agreement.

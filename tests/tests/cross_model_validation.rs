@@ -2,11 +2,11 @@
 //! platform models must be consistent with the detailed substrate models
 //! they summarize.
 
+use ioguard_hw::footprint::SystemKind;
+use ioguard_hypervisor::driver::{IoController, IoProtocol};
 use ioguard_noc::network::{Network, NetworkConfig};
 use ioguard_noc::packet::{Packet, PacketKind};
 use ioguard_noc::topology::NodeId;
-use ioguard_hw::footprint::SystemKind;
-use ioguard_hypervisor::driver::{IoController, IoProtocol};
 use ioguard_rtos::path::IoPath;
 use ioguard_sim::stats::OnlineStats;
 
@@ -111,8 +111,15 @@ fn response_class_is_never_blocked() {
             .expect("fits");
         }
         net.inject(
-            Packet::new(1, PacketKind::IoResponse, NodeId::new(0, 2), NodeId::new(4, 2), 4, 0)
-                .expect("valid"),
+            Packet::new(
+                1,
+                PacketKind::IoResponse,
+                NodeId::new(0, 2),
+                NodeId::new(4, 2),
+                4,
+                0,
+            )
+            .expect("valid"),
         )
         .expect("fits");
         net.run_until_idle(1_000_000)

@@ -29,11 +29,8 @@ fn admitted_workload_executes_without_misses() {
 
     // Scale periods down into an analysis-friendly table: use a synthetic
     // σ* with 25% pre-defined occupancy.
-    let sigma = ioguard_sched::table::TimeSlotTable::from_occupied(
-        8,
-        &[0, 4],
-    )
-    .expect("valid table");
+    let sigma =
+        ioguard_sched::table::TimeSlotTable::from_occupied(8, &[0, 4]).expect("valid table");
 
     // Shrink the workload to per-VM representative task sets the exact
     // tests can handle (catalogue periods share small divisors).
@@ -116,15 +113,7 @@ fn preemption_beats_fifo_on_adversarial_pattern() {
             if t % 100 == 0 {
                 p.submit(PlatformJob::new(0, t * 10 + 1, t, 40, t + 400, 512, true));
                 for k in 0..4 {
-                    p.submit(PlatformJob::new(
-                        1,
-                        t * 10 + 2 + k,
-                        t,
-                        2,
-                        t + 20,
-                        64,
-                        true,
-                    ));
+                    p.submit(PlatformJob::new(1, t * 10 + 2 + k, t, 2, t + 20, 64, true));
                 }
             }
             p.step();

@@ -6,11 +6,11 @@
 use ioguard_baselines::bluevisor::BlueVisorPlatform;
 use ioguard_baselines::ioguard::IoGuardPlatform;
 use ioguard_baselines::platform::{IoPlatform, PlatformJob};
+use ioguard_hypervisor::driver::IoProtocol;
 use ioguard_hypervisor::gsched::GschedPolicy;
 use ioguard_hypervisor::hypervisor::{Hypervisor, HypervisorParams, RtJob};
 use ioguard_hypervisor::pchannel::PredefinedTask;
 use ioguard_hypervisor::system::{IoDeviceConfig, MultiIoSystem, Transfer};
-use ioguard_hypervisor::driver::IoProtocol;
 use ioguard_sched::task::SporadicTask;
 
 /// A pool-overflow storm: a burst far beyond the hardware queue capacity.
@@ -54,12 +54,19 @@ fn transient_overload_recovers() {
     }
     hv.run(300);
     let misses_after_burst = hv.metrics().missed;
-    assert!(misses_after_burst > 0, "the burst must overwhelm the device");
-    assert!(hv.pools().iter().all(|p| p.is_empty()), "backlog fully cleared");
+    assert!(
+        misses_after_burst > 0,
+        "the burst must overwhelm the device"
+    );
+    assert!(
+        hv.pools().iter().all(|p| p.is_empty()),
+        "backlog fully cleared"
+    );
     // Light periodic phase: must run clean.
     for k in 0..50u64 {
         let t = hv.now();
-        hv.submit(RtJob::new(0, 1_000 + k, t, 1, t + 20)).expect("room");
+        hv.submit(RtJob::new(0, 1_000 + k, t, 1, t + 20))
+            .expect("room");
         hv.run(10);
     }
     assert_eq!(
@@ -106,10 +113,7 @@ fn infeasible_preload_fails_closed() {
             start_offset: 0,
         },
     ];
-    assert!(Hypervisor::new(
-        HypervisorParams::new(1).with_predefined(overload.clone())
-    )
-    .is_err());
+    assert!(Hypervisor::new(HypervisorParams::new(1).with_predefined(overload.clone())).is_err());
     assert!(IoGuardPlatform::new(1, overload.clone(), GschedPolicy::GlobalEdf).is_err());
     assert!(MultiIoSystem::new(
         vec![IoDeviceConfig::new(IoProtocol::Spi, 1).with_predefined(overload)],
@@ -145,14 +149,16 @@ fn extreme_parameters_are_safe() {
     assert_eq!(hv.metrics().predefined_completed, 150);
 
     // Huge transfer on a slow bus through the multi-device system.
-    let mut sys = MultiIoSystem::new(
-        vec![IoDeviceConfig::new(IoProtocol::I2c, 1)],
-        50_000,
-    )
-    .expect("valid");
-    sys.submit(0, Transfer::new(0, 1, u32::MAX / 1024, 1)).expect("queued");
+    let mut sys =
+        MultiIoSystem::new(vec![IoDeviceConfig::new(IoProtocol::I2c, 1)], 50_000).expect("valid");
+    sys.submit(0, Transfer::new(0, 1, u32::MAX / 1024, 1))
+        .expect("queued");
     sys.run(10);
-    assert_eq!(sys.total_missed(), 1, "impossible deadline surfaces as a miss");
+    assert_eq!(
+        sys.total_missed(),
+        1,
+        "impossible deadline surfaces as a miss"
+    );
 }
 
 /// Zero-capacity and zero-device configurations are rejected, not UB.
@@ -169,9 +175,5 @@ fn degenerate_configs_rejected() {
     })
     .is_err());
     assert!(MultiIoSystem::new(vec![], 50_000).is_err());
-    assert!(MultiIoSystem::new(
-        vec![IoDeviceConfig::new(IoProtocol::Spi, 1)],
-        0
-    )
-    .is_err());
+    assert!(MultiIoSystem::new(vec![IoDeviceConfig::new(IoProtocol::Spi, 1)], 0).is_err());
 }

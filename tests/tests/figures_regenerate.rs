@@ -11,7 +11,11 @@ use ioguard_hw::scale::fig8_sweep;
 #[test]
 fn table1_proposed_row_lands_on_paper_values() {
     let c = HypervisorConfig::paper_table1().cost();
-    assert!((c.luts as f64 - 2777.0).abs() / 2777.0 < 0.02, "LUTs {}", c.luts);
+    assert!(
+        (c.luts as f64 - 2777.0).abs() / 2777.0 < 0.02,
+        "LUTs {}",
+        c.luts
+    );
     assert!(
         (c.registers as f64 - 2974.0).abs() / 2974.0 < 0.02,
         "registers {}",
@@ -19,7 +23,11 @@ fn table1_proposed_row_lands_on_paper_values() {
     );
     assert_eq!(c.dsp, 0);
     assert_eq!(c.bram_kb, 256);
-    assert!((c.power_mw as f64 - 279.0).abs() / 279.0 < 0.03, "power {}", c.power_mw);
+    assert!(
+        (c.power_mw as f64 - 279.0).abs() / 279.0 < 0.03,
+        "power {}",
+        c.power_mw
+    );
     // Orderings of Obs. 2.
     assert!(c.luts < reference::BLUEIO.luts);
     assert!(c.luts < reference::MICROBLAZE.luts);
@@ -72,7 +80,10 @@ fn fig7_obs3_ioguard_dominates_at_high_load() {
     let legacy = point(SystemUnderTest::Legacy);
 
     assert!(iog70.success_ratio >= iog40.success_ratio);
-    assert!(iog40.success_ratio > bv.success_ratio, "{iog40:?} vs {bv:?}");
+    assert!(
+        iog40.success_ratio > bv.success_ratio,
+        "{iog40:?} vs {bv:?}"
+    );
     assert!(bv.success_ratio >= xen.success_ratio, "{bv:?} vs {xen:?}");
     assert!(iog70.success_ratio >= legacy.success_ratio);
     // Throughput ordering: the proposed system transfers at least as much
@@ -103,7 +114,10 @@ fn fig7_obs4_vm_scaling() {
     };
     let iog_4 = run(SystemUnderTest::IoGuard { preload_pct: 70 }, 4);
     let iog_8 = run(SystemUnderTest::IoGuard { preload_pct: 70 }, 8);
-    assert!((iog_4 - iog_8).abs() < 0.15, "I/O-GUARD insensitive to VM count");
+    assert!(
+        (iog_4 - iog_8).abs() < 0.15,
+        "I/O-GUARD insensitive to VM count"
+    );
     let xen_4 = run(SystemUnderTest::RtXen, 4);
     let xen_8 = run(SystemUnderTest::RtXen, 8);
     assert!(

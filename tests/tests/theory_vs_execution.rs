@@ -34,9 +34,8 @@ fn arb_server() -> impl Strategy<Value = PeriodicServer> {
 
 fn arb_vm_tasks() -> impl Strategy<Value = TaskSet> {
     prop::collection::vec(
-        (20u64..=60, 1u64..=2).prop_map(|(period, wcet)| {
-            SporadicTask::implicit(period, wcet).expect("valid")
-        }),
+        (20u64..=60, 1u64..=2)
+            .prop_map(|(period, wcet)| SporadicTask::implicit(period, wcet).expect("valid")),
         1..=2,
     )
     .prop_map(TaskSet::from)

@@ -1,0 +1,168 @@
+//! Offline stand-in for the slice of the `bytes` crate this workspace uses:
+//! little-endian header encoding in `ioguard-noc::packet`. Backed by a plain
+//! `Vec<u8>` — the zero-copy machinery of the real crate is irrelevant for
+//! 16-byte header flits. API-compatible with `bytes` 1.x for the methods
+//! exercised here, so the manifest can be pointed back at crates-io without
+//! code changes.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Immutable byte buffer (cheaply cloneable, like `bytes::Bytes`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    inner: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { inner: data.into() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { inner: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+/// Growable byte buffer (like `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            inner: self.inner.into(),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Write-side buffer trait covering the `put_*` helpers used in this
+/// workspace (all little-endian, as on the VC709 wire format).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le_encoding() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        buf.put_u8(9);
+        buf.put_u16_le(0x0B0A);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 11);
+        assert_eq!(frozen[0], 0x08);
+        assert_eq!(frozen[8], 9);
+        assert_eq!(frozen[9], 0x0A);
+        let clone = frozen.clone();
+        assert_eq!(&clone[..], &frozen[..]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API the bench suite uses
+//! (`bench_function`, `benchmark_group`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, the `criterion_group!`/`criterion_main!` macros) as a plain
+//! wall-clock harness: each benchmark is auto-calibrated to a target
+//! measurement window, then reported as mean ns/iter on stdout. There is no
+//! statistical analysis, HTML report or baseline comparison — the point is
+//! that `cargo bench` runs offline and prints honest timings.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimizer barrier under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+    measurement: Duration,
+}
+
+impl Bencher {
+    fn new(measurement: Duration) -> Self {
+        Self {
+            mean_ns: 0.0,
+            iters: 0,
+            measurement,
+        }
+    }
+
+    /// Times `f`, auto-scaling the iteration count so the measured window is
+    /// long enough to be meaningful for both nanosecond- and second-scale
+    /// routines.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find an iteration count that fills ~1/5 of the target
+        // window, starting from a single (possibly slow) probe run.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed();
+        let target = self.measurement;
+        let mut n: u64 = if probe >= target {
+            1
+        } else {
+            let per_iter = probe.as_nanos().max(1);
+            ((target.as_nanos() / 5 / per_iter) as u64).clamp(1, 1_000_000)
+        };
+
+        let start = Instant::now();
+        let mut total_iters = 0u64;
+        loop {
+            for _ in 0..n {
+                black_box(f());
+            }
+            total_iters += n;
+            let elapsed = start.elapsed();
+            if elapsed >= target {
+                self.mean_ns = elapsed.as_nanos() as f64 / total_iters as f64;
+                self.iters = total_iters;
+                break;
+            }
+            n = n.clamp(1, u64::MAX / 2);
+        }
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let ns = bencher.mean_ns;
+    let human = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    };
+    println!("bench: {name:<48} {human}/iter ({} iters)", bencher.iters);
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short window by default; the stub favours total suite time over
+        // statistical power. Override with IOGUARD_BENCH_MS if needed.
+        let ms = std::env::var("IOGUARD_BENCH_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(300);
+        Self {
+            measurement: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.measurement);
+        f(&mut b);
+        report(&name.to_string(), &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's timing loop is
+    /// auto-calibrated, so the sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.measurement);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.measurement);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Ends the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter(|| black_box(21u64 * 2));
+        assert!(b.mean_ns > 0.0);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

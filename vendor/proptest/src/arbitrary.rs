@@ -1,0 +1,26 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use crate::strategy::AnyStrategy;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Returns the canonical strategy for this type.
+    fn arbitrary() -> AnyStrategy<Self>;
+}
+
+macro_rules! arbitrary_prims {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> AnyStrategy<$t> {
+                AnyStrategy::new()
+            }
+        }
+    )*};
+}
+
+arbitrary_prims!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, f64);
+
+/// Mirrors `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    T::arbitrary()
+}

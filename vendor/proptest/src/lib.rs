@@ -1,0 +1,172 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses —
+//! [`Strategy`] with `prop_map`/`prop_flat_map`, range/tuple/`Just`/`any`
+//! strategies, `prop::collection::vec`, `prop_oneof!`, and the `proptest!` /
+//! `prop_assert!` macros — on top of a small deterministic PRNG.
+//!
+//! Differences from the real crate, deliberately accepted for an offline
+//! build:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs via
+//!   the assertion message; it is not minimized first.
+//! * **Deterministic seeding.** Each test derives its seed from its fully
+//!   qualified name (overridable with the `PROPTEST_SEED` environment
+//!   variable), so failures reproduce exactly across runs and machines.
+//! * **`ProptestConfig`** honours `cases`; persistence/fork options do not
+//!   exist.
+//!
+//! The macro grammar matches real proptest (`pattern in strategy` argument
+//! lists, `#![proptest_config(...)]` headers), so test sources compile
+//! unchanged against either implementation.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod config;
+pub mod rng;
+pub mod strategy;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop` (module-style access to strategy
+    /// constructors, e.g. `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Early-exit error for property bodies, mirroring
+/// `proptest::test_runner::TestCaseError` far enough that bodies may
+/// `return Ok(())` / propagate failures with `?`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Rejects the current case with a failure message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(e: E) -> Self {
+        Self(e.to_string())
+    }
+}
+
+/// Runs the body of one property-test function: `cases` iterations, each
+/// with freshly generated inputs. Factored out of the `proptest!` expansion
+/// so the macro stays small.
+#[doc(hidden)]
+pub fn run_property_cases(
+    test_name: &str,
+    cases: u32,
+    mut body: impl FnMut(&mut rng::TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = rng::TestRng::for_test(test_name);
+    for case in 0..cases {
+        if let Err(err) = body(&mut rng) {
+            panic!("property {test_name} failed at case {case}: {err}");
+        }
+    }
+}
+
+/// The `proptest!` macro: wraps each `fn name(pat in strategy, ...) { .. }`
+/// item into a zero-argument function that loops over generated cases.
+///
+/// Attributes written on the inner functions (`#[test]`, doc comments) are
+/// forwarded verbatim, matching how the real macro is used in this
+/// workspace (tests carry an explicit `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::config::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_property_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                config.cases,
+                |__proptest_rng| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                    { $body }
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// `prop_assert!`: like `assert!`, but named so sources stay compatible
+/// with real proptest (where it returns a `TestCaseError`). Here it panics,
+/// which fails the enclosing test case immediately — without shrinking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// `prop_assert_eq!`: see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// `prop_assert_ne!`: see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// `prop_oneof!`: uniform choice between the listed strategies (all must
+/// produce the same value type). Weighted arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for the `rand` trait surface used by this workspace.
+//!
+//! `ioguard-sim` ships its own generators ([`SplitMix64`],
+//! [`Xoshiro256StarStar`] — see `ioguard_sim::rng`) and only depends on
+//! `rand` for the *trait vocabulary* (`RngCore`, `SeedableRng`) so the
+//! generators compose with external distributions when the real crate is
+//! available. This stub provides exactly those traits with the same
+//! signatures as `rand` 0.8, so swapping back to crates-io is a manifest
+//! change only.
+
+use std::fmt;
+
+/// Error type mirroring `rand::Error` (0.8). The deterministic generators in
+/// this workspace are infallible, so this is never constructed here.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static description.
+    pub const fn new(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core uniform-bits generator trait, signature-compatible with
+/// `rand::RngCore` 0.8.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+/// Deterministic construction from a seed, signature-compatible with
+/// `rand::SeedableRng` 0.8.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array in every implementation here).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it over the seed bytes.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion, matching rand 0.8's default behaviour of
+        // deriving the seed bytes from a small state.
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace builds in environments with no registry access, so the real
+//! `serde` cannot be fetched. Nothing in the repository actually serializes
+//! data (there is no `serde_json`/`bincode` consumer); the dependency exists
+//! so that public types can advertise `Serialize`/`Deserialize` bounds and
+//! carry `#[serde(...)]` attributes. This stub preserves exactly that
+//! surface:
+//!
+//! * [`Serialize`] / [`Deserialize`] marker traits with blanket impls, so
+//!   every type satisfies any `T: Serialize` bound;
+//! * re-exported derive macros (from the sibling `serde_derive` stub) that
+//!   accept — and ignore — the full `#[serde(...)]` attribute grammar.
+//!
+//! Swapping the workspace dependency back to the real crates-io `serde` is a
+//! one-line change in the root `Cargo.toml`; no downstream code changes.
+
+/// Marker for "this type can be serialized". Blanket-implemented: the stub
+/// never serializes, it only needs the bound to be satisfiable.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for "this type can be deserialized". Blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization alias mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirrors `serde::de` far enough for `use serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirrors `serde::ser` for symmetry.
+pub mod ser {
+    pub use crate::Serialize;
+}

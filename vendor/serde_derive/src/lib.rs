@@ -1,0 +1,19 @@
+//! Inert derive macros backing the offline `serde` stand-in.
+//!
+//! The sibling `serde` stub blanket-implements its marker traits, so the
+//! derives have nothing to generate — they only need to *exist* (so
+//! `#[derive(Serialize, Deserialize)]` compiles) and to register the
+//! `#[serde(...)]` helper attribute (so field/container attributes like
+//! `#[serde(skip)]` and `#[serde(transparent)]` are accepted).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
