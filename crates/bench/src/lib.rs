@@ -1,1 +1,2 @@
 //! Benchmark host crate: all content lives in the `benches/` targets.
+#![forbid(unsafe_code)]

@@ -132,7 +132,10 @@ impl IoController {
     /// End-to-end service time for one I/O operation of `bytes` payload:
     /// translation (request + response) plus wire time.
     pub fn service_ns(self, bytes: u32) -> u64 {
-        2 * self.translator.wcet_ns + self.transfer_ns(bytes)
+        self.translator
+            .wcet_ns
+            .saturating_mul(2)
+            .saturating_add(self.transfer_ns(bytes))
     }
 
     /// Service time in hypervisor slots of `slot_ns` nanoseconds, rounded

@@ -31,6 +31,10 @@ pub enum HvError {
         /// Human-readable description.
         reason: String,
     },
+    /// A free slot was granted to a pool with no shadow entry — a G-Sched
+    /// invariant violation (scheduler bug), surfaced as a value instead of
+    /// a panic.
+    EmptyPool,
 }
 
 impl fmt::Display for HvError {
@@ -45,6 +49,9 @@ impl fmt::Display for HvError {
             }
             HvError::TableConstruction { reason } => {
                 write!(f, "cannot build time slot table: {reason}")
+            }
+            HvError::EmptyPool => {
+                write!(f, "slot granted to a pool with an empty shadow register")
             }
         }
     }
@@ -75,6 +82,7 @@ mod tests {
                 HvError::TableConstruction { reason: "y".into() },
                 "time slot table",
             ),
+            (HvError::EmptyPool, "empty shadow register"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle));

@@ -11,6 +11,10 @@
 //!   pool then runs its own L-Sched winner. This gives hard inter-VM
 //!   isolation (a misbehaving VM cannot exceed its budget).
 
+// lint: allow(indexing, file) — server_state has one entry per server by
+// construction; every index is an enumerate() index over that same slice or
+// over pools, whose length is debug-asserted equal at grant time.
+
 use serde::{Deserialize, Serialize};
 
 use ioguard_sched::task::PeriodicServer;
@@ -62,7 +66,7 @@ impl Gsched {
         if let GschedPolicy::ServerBased(servers) = &self.policy {
             for (i, server) in servers.iter().enumerate() {
                 if now > 0 && now.is_multiple_of(server.period()) {
-                    self.server_state[i] = (server.budget(), now + server.period());
+                    self.server_state[i] = (server.budget(), now.saturating_add(server.period()));
                 }
             }
         }
@@ -121,11 +125,12 @@ impl Gsched {
         &self.policy
     }
 
-    /// Remaining budget of VM `vm` (global EDF reports `u64::MAX`).
+    /// Remaining budget of VM `vm` (global EDF reports `u64::MAX`; an
+    /// out-of-range VM reports zero rather than panicking).
     pub fn remaining_budget(&self, vm: usize) -> u64 {
         match self.policy {
             GschedPolicy::GlobalEdf => u64::MAX,
-            GschedPolicy::ServerBased(_) => self.server_state[vm].0,
+            GschedPolicy::ServerBased(_) => self.server_state.get(vm).map_or(0, |s| s.0),
         }
     }
 }

@@ -11,6 +11,10 @@
 //!    executor runs one slot of that pool's earliest-deadline job,
 //!    preempting at slot granularity.
 
+// lint: allow(indexing, file) — pool indices come from the G-Sched grant
+// (bounded by the pool count it was handed) and task indices from the
+// P-channel's own fire() result; pjob_state is sized to tasks() at build.
+
 use serde::{Deserialize, Serialize};
 
 use ioguard_sim::stats::OnlineStats;
@@ -169,7 +173,9 @@ impl HvMetrics {
 
     /// Total slots observed.
     pub fn total_slots(&self) -> u64 {
-        self.pchannel_slots + self.rchannel_slots + self.idle_slots
+        self.pchannel_slots
+            .saturating_add(self.rchannel_slots)
+            .saturating_add(self.idle_slots)
     }
 
     /// True when no run-time job has missed.
@@ -217,6 +223,12 @@ fn hash3(a: u64, b: u64, c: u64) -> u64 {
     x ^= x >> 27;
     x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// Narrows an id to the trace buffer's u32 field, saturating on overflow —
+/// ids above `u32::MAX` lose fidelity in the trace only, never in scheduling.
+fn trace_id(x: u64) -> u32 {
+    u32::try_from(x).unwrap_or(u32::MAX)
 }
 
 impl Hypervisor {
@@ -349,8 +361,8 @@ impl Hypervisor {
                 self.trace.record(
                     Slots::new(self.now),
                     TraceKind::Release,
-                    job.vm as u32,
-                    job.task_id as u32,
+                    trace_id(job.vm as u64),
+                    trace_id(job.task_id),
                 );
                 Ok(())
             }
@@ -361,8 +373,8 @@ impl Hypervisor {
                 self.trace.record(
                     Slots::new(self.now),
                     TraceKind::DeadlineMiss,
-                    job.vm as u32,
-                    job.task_id as u32,
+                    trace_id(job.vm as u64),
+                    trace_id(job.task_id),
                 );
                 Err(HvError::PoolFull {
                     vm: job.vm,
@@ -390,8 +402,8 @@ impl Hypervisor {
                 self.trace.record(
                     Slots::new(now),
                     TraceKind::DeadlineMiss,
-                    vm as u32,
-                    missed.task_id as u32,
+                    trace_id(vm as u64),
+                    trace_id(missed.task_id),
                 );
             }
             self.shadow_index.update(vm, pool.shadow_key());
@@ -447,19 +459,22 @@ impl Hypervisor {
                     Slots::new(now),
                     TraceKind::TableFire,
                     u32::MAX,
-                    self.pchannel.tasks()[owner.task_index].task_id as u32,
+                    trace_id(self.pchannel.tasks()[owner.task_index].task_id),
                 );
             }
         } else {
             // 4. Free (or reclaimed) slot: G-Sched grants one pool, reading
-            //    the winner off the comparator tree.
-            match self.gsched.grant_indexed(&self.pools, &self.shadow_index) {
-                Some(vm) => {
+            //    the winner off the comparator tree. A grant whose pool has
+            //    no shadow entry would be a scheduler bug; the slot then
+            //    idles instead of bringing the model down.
+            let granted = self
+                .gsched
+                .grant_indexed(&self.pools, &self.shadow_index)
+                .and_then(|vm| self.pools[vm].shadow().map(|e| (vm, e.task_id)));
+            match granted {
+                Some(running) => {
+                    let vm = running.0;
                     self.metrics.rchannel_slots += 1;
-                    let running = self.pools[vm]
-                        .shadow()
-                        .map(|e| (vm, e.task_id))
-                        .expect("granted pools are non-empty");
                     if !self.trace.is_disabled() {
                         match self.last_dispatched {
                             Some(prev) if prev == running => {}
@@ -474,28 +489,30 @@ impl Hypervisor {
                                 self.trace.record(
                                     Slots::new(now),
                                     TraceKind::Preempt,
-                                    pvm as u32,
-                                    ptask as u32,
+                                    trace_id(pvm as u64),
+                                    trace_id(ptask),
                                 );
                                 self.trace.record(
                                     Slots::new(now),
                                     TraceKind::Dispatch,
-                                    running.0 as u32,
-                                    running.1 as u32,
+                                    trace_id(running.0 as u64),
+                                    trace_id(running.1),
                                 );
                             }
                             _ => self.trace.record(
                                 Slots::new(now),
                                 TraceKind::Dispatch,
-                                running.0 as u32,
-                                running.1 as u32,
+                                trace_id(running.0 as u64),
+                                trace_id(running.1),
                             ),
                         }
                     }
                     self.last_dispatched = Some(running);
-                    if let Some(done) = self.pools[vm].execute_slot() {
+                    if let Ok(Some(done)) = self.pools[vm].execute_slot() {
                         // Completion moved the shadow register; a mere
-                        // budget decrement leaves the key untouched.
+                        // budget decrement leaves the key untouched. (The
+                        // Err arm is unreachable — the shadow register was
+                        // read non-empty on this same slot.)
                         self.sync_shadow(vm);
                         self.metrics.completed += 1;
                         self.metrics.response_bytes += done.response_bytes as u64;
@@ -505,8 +522,8 @@ impl Hypervisor {
                         self.trace.record(
                             Slots::new(now),
                             TraceKind::Complete,
-                            vm as u32,
-                            done.task_id as u32,
+                            trace_id(vm as u64),
+                            trace_id(done.task_id),
                         );
                         self.last_dispatched = None;
                     }

@@ -8,6 +8,10 @@
 //! which is where I/O-GUARD's predictability for pre-loaded tasks comes
 //! from.
 
+// lint: allow(indexing, file) — `owners` has hyper-period length and every
+// index is reduced modulo that length first; `tasks[task_index]` uses the
+// enumerate() index the job list was built from.
+
 use serde::{Deserialize, Serialize};
 
 use ioguard_sched::table::TimeSlotTable;
@@ -88,9 +92,9 @@ impl PChannel {
         for (idx, t) in tasks.iter().enumerate() {
             let offset = t.start_offset % t.task.period();
             let mut release = offset;
-            while release < hyper + offset {
-                jobs.push((release + t.task.deadline(), release, idx));
-                release += t.task.period();
+            while release < hyper.saturating_add(offset) {
+                jobs.push((release.saturating_add(t.task.deadline()), release, idx));
+                release = release.saturating_add(t.task.period());
             }
         }
         jobs.sort_unstable();
@@ -146,15 +150,20 @@ impl PChannel {
                     ),
                 });
             }
-            // The chronologically last slot of the job completes it.
-            let last = *chosen.iter().max().expect("wcet ≥ 1");
+            // The chronologically last slot of the job completes it. A
+            // zero-WCET task places no slots and has nothing to complete.
+            let Some(&last) = chosen.iter().max() else {
+                continue;
+            };
             owners[(last % hyper) as usize] = Some(SlotOwner {
                 task_index,
                 completes_job: true,
             });
         }
         let mask: Vec<bool> = owners.iter().map(Option::is_none).collect();
-        let table = TimeSlotTable::from_mask(mask).expect("hyper-period ≥ 1");
+        let table = TimeSlotTable::from_mask(mask).map_err(|e| HvError::TableConstruction {
+            reason: e.to_string(),
+        })?;
         Ok(Self {
             tasks,
             table,
@@ -164,6 +173,7 @@ impl PChannel {
 
     /// An empty channel (no pre-defined tasks): a length-1 all-free table.
     pub fn empty() -> Self {
+        // lint: allow(panic-site) — infallible by construction: zero tasks give hyper-period 1, within the limit 1
         Self::build(Vec::new(), 1).expect("empty channel always fits")
     }
 

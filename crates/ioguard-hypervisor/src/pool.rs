@@ -18,7 +18,13 @@
 //! shadow register and is O(1) per call when nothing has expired — the
 //! common case on the hot per-slot sweep.
 
+// lint: allow(indexing, file) — every index into `entries` is `shadow_idx`,
+// which the incremental-update invariant keeps inside `0..entries.len()`
+// whenever it is `Some` (it is cleared or repaired on every removal).
+
 use serde::{Deserialize, Serialize};
+
+use crate::error::HvError;
 
 /// One buffered run-time I/O task inside a pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -135,10 +141,10 @@ impl IoPool {
         self.shadow_idx.map(|i| shadow_key(&self.entries[i]))
     }
 
-    /// Removes the shadow entry and recomputes the register. The linear
-    /// repair runs only here — when the minimum leaves the queue.
-    fn remove_shadow(&mut self) -> PoolEntry {
-        let idx = self.shadow_idx.expect("non-empty pool");
+    /// Removes the entry at `idx` (the current shadow index) and recomputes
+    /// the register. The linear repair runs only here — when the minimum
+    /// leaves the queue.
+    fn remove_at(&mut self, idx: usize) -> PoolEntry {
         let removed = self.entries.swap_remove(idx);
         self.shadow_idx = self
             .entries
@@ -150,22 +156,25 @@ impl IoPool {
     }
 
     /// Executes one slot of the shadow entry (called by the executor when
-    /// the G-Sched grants this pool the slot). Returns the entry if it
-    /// *completed* with this slot, removing it from the queue.
+    /// the G-Sched grants this pool the slot). Returns `Ok(Some(entry))` if
+    /// the task *completed* with this slot (removing it from the queue) and
+    /// `Ok(None)` if it still has work left.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the pool is empty — the G-Sched only grants pools with a
-    /// valid shadow register.
-    pub fn execute_slot(&mut self) -> Option<PoolEntry> {
-        let idx = self
-            .shadow_idx
-            .expect("G-Sched grants only non-empty pools");
-        self.entries[idx].remaining -= 1;
+    /// Returns [`HvError::EmptyPool`] when the pool has no shadow entry —
+    /// a correct G-Sched only grants pools with a valid shadow register, so
+    /// hitting this indicates a scheduler bug, which the caller can surface
+    /// without bringing down the whole hypervisor model.
+    pub fn execute_slot(&mut self) -> Result<Option<PoolEntry>, HvError> {
+        let Some(idx) = self.shadow_idx else {
+            return Err(HvError::EmptyPool);
+        };
+        self.entries[idx].remaining = self.entries[idx].remaining.saturating_sub(1);
         if self.entries[idx].remaining == 0 {
-            Some(self.remove_shadow())
+            Ok(Some(self.remove_at(idx)))
         } else {
-            None
+            Ok(None)
         }
     }
 
@@ -182,7 +191,7 @@ impl IoPool {
             if self.entries[i].deadline > now {
                 break;
             }
-            missed.push(self.remove_shadow());
+            missed.push(self.remove_at(i));
         }
         missed
     }
@@ -233,8 +242,8 @@ mod tests {
     fn execute_slot_decrements_and_completes() {
         let mut p = IoPool::new(4);
         p.insert(entry(1, 100, 2)).unwrap();
-        assert_eq!(p.execute_slot(), None); // 1 slot left
-        let done = p.execute_slot().expect("completes");
+        assert_eq!(p.execute_slot(), Ok(None)); // 1 slot left
+        let done = p.execute_slot().unwrap().expect("completes");
         assert_eq!(done.task_id, 1);
         assert!(p.is_empty());
     }
@@ -245,19 +254,22 @@ mod tests {
         // the preemption FIFOs cannot do.
         let mut p = IoPool::new(4);
         p.insert(entry(1, 100, 3)).unwrap();
-        assert_eq!(p.execute_slot(), None); // task 1 partially done
+        assert_eq!(p.execute_slot(), Ok(None)); // task 1 partially done
         p.insert(entry(2, 10, 1)).unwrap();
-        let done = p.execute_slot().expect("task 2 completes first");
+        let done = p.execute_slot().unwrap().expect("task 2 completes first");
         assert_eq!(done.task_id, 2);
         // Task 1 resumes with its remaining budget intact.
         assert_eq!(p.shadow().unwrap().remaining, 2);
     }
 
     #[test]
-    #[should_panic(expected = "non-empty pools")]
-    fn execute_on_empty_pool_panics() {
+    fn execute_on_empty_pool_is_a_typed_error() {
+        // Previously a panic; now the scheduler bug surfaces as a value.
         let mut p = IoPool::new(2);
-        let _ = p.execute_slot();
+        assert_eq!(p.execute_slot(), Err(HvError::EmptyPool));
+        // The pool stays usable after the error.
+        p.insert(entry(1, 5, 1)).unwrap();
+        assert_eq!(p.execute_slot().unwrap().map(|e| e.task_id), Some(1));
     }
 
     #[test]

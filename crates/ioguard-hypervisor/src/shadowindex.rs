@@ -12,6 +12,10 @@
 //! lexicographic `(deadline, task_id, vm)`, i.e. earliest deadline, ties by
 //! task id, then by VM index.
 
+// lint: allow(indexing, file) — `tree` has fixed length 2·cap; update()
+// asserts vm < vms ≤ cap, so the leaf cap+vm and the halving root path
+// (node ≥ 1, children 2·node and 2·node+1 < 2·cap) stay in bounds.
+
 use serde::{Deserialize, Serialize};
 
 /// A fully-resolved comparator key: `(deadline, task_id, vm)`.
@@ -77,9 +81,13 @@ impl ShadowIndex {
         self.tree[1]
     }
 
-    /// VM `vm`'s currently-installed key (primarily for assertions).
+    /// VM `vm`'s currently-installed key (primarily for assertions; an
+    /// out-of-range VM reads as empty).
     pub fn leaf(&self, vm: usize) -> Option<ShadowKey> {
-        self.tree[self.cap + vm]
+        self.tree
+            .get(self.cap.saturating_add(vm))
+            .copied()
+            .flatten()
     }
 }
 

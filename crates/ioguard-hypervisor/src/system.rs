@@ -128,7 +128,7 @@ impl MultiIoSystem {
     ///
     /// Panics if `idx` is out of range.
     pub fn controller(&self, idx: usize) -> IoController {
-        self.groups[idx].0
+        self.groups[idx].0 // lint: allow(indexing) — documented API contract (# Panics) on a bad device index
     }
 
     /// Metrics of device `idx`'s manager.
@@ -137,7 +137,7 @@ impl MultiIoSystem {
     ///
     /// Panics if `idx` is out of range.
     pub fn metrics(&self, idx: usize) -> &HvMetrics {
-        self.groups[idx].1.metrics()
+        self.groups[idx].1.metrics() // lint: allow(indexing) — documented API contract (# Panics) on a bad device index
     }
 
     /// Total completed jobs across devices.
@@ -179,7 +179,7 @@ impl MultiIoSystem {
                 transfer.task_id,
                 now,
                 wcet,
-                now + transfer.relative_deadline,
+                now.saturating_add(transfer.relative_deadline),
             ),
             transfer.bytes,
         )

@@ -64,7 +64,7 @@ fn pool_shadow_matches_naive_model_over_10k_ops() {
             }
             4..=5 => {
                 if !pool.is_empty() {
-                    let completed = pool.execute_slot();
+                    let completed = pool.execute_slot().expect("pool checked non-empty");
                     let (i, _) = model
                         .iter()
                         .enumerate()

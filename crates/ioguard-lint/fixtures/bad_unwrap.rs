@@ -1,0 +1,27 @@
+//! Seeded-bad fixture: every Layer 1 rule fires at least once. CI runs
+//! `ioguard-lint -- check` over this file and asserts a non-zero exit.
+
+pub fn lookup(values: &[u64], slot: usize) -> u64 {
+    // Direct indexing and a bare unwrap in library code.
+    let v = values.get(slot).copied();
+    values[slot] + v.unwrap()
+}
+
+pub fn next_release(release: u64, period: u64) -> u64 {
+    // Unchecked `+` on time arithmetic.
+    release + period
+}
+
+pub fn to_trace_id(task_id: u64) -> u32 {
+    // Narrowing cast.
+    task_id as u32
+}
+
+pub fn order_map() -> std::collections::HashMap<u64, u64> {
+    // Hash-ordered container on a deterministic path.
+    std::collections::HashMap::new()
+}
+
+pub fn silenced(values: &[u64]) -> u64 {
+    values.first().copied().unwrap() // lint: allow(panic-site)
+}

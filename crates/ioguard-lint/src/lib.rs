@@ -1,0 +1,107 @@
+//! Workspace static analysis for the I/O-GUARD reproduction.
+//!
+//! Two layers, both deterministic and dependency-free (the workspace builds
+//! offline against vendored stubs, so there is no `syn` here):
+//!
+//! * **Layer 1 — source lints** ([`scan`], [`rules`]): a token/line-level
+//!   analyzer enforcing the invariants PR 1 made load-bearing — panic-free
+//!   hypervisor/sched/NoC library code, checked/saturating `u64` time
+//!   arithmetic, no hash-ordered containers or wall clocks on the
+//!   deterministic-simulation path, and `#![forbid(unsafe_code)]` in every
+//!   crate root. Exceptions go through `// lint: allow(<rule>)` directives
+//!   with mandatory justification text.
+//! * **Layer 2 — model verifier** ([`model`], [`fig7`]): a static
+//!   [`model::ConfigVerifier`] certifying full system configurations before
+//!   simulation — σ\* well-formedness against Eqs. 1–2, periodic-server
+//!   sanity, I/O-pool capacity bounds, NoC deadlock-freedom via
+//!   channel-dependency-graph cycle detection, and (opt-in) the Theorem 1/3
+//!   admission tests.
+//!
+//! The `ioguard-lint` binary wires both into `cargo run -p ioguard-lint --
+//! check`, which CI runs on every push.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig7;
+pub mod model;
+pub mod rules;
+pub mod scan;
+
+use std::path::Path;
+
+use model::{ConfigVerifier, SystemModel};
+use rules::{RuleSet, Violation};
+use scan::SourceFile;
+
+/// File extension of model files.
+pub const MODEL_EXT: &str = "model";
+
+/// Lints every workspace crate under `root/crates` with its crate-scoped
+/// rule set, including the `#![forbid(unsafe_code)]` crate-root check.
+/// Returns the violations and the number of files scanned.
+pub fn check_workspace(root: &Path) -> Result<(Vec<Violation>, usize), String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    if crate_dirs.is_empty() {
+        return Err(format!("no crates under {}", crates_dir.display()));
+    }
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        scanned += rules::lint_tree(&src, RuleSet::for_crate(&name), &mut violations)?;
+        let lib = src.join("lib.rs");
+        if lib.is_file() {
+            rules::check_forbid_unsafe(&SourceFile::load(&lib)?, &mut violations);
+        }
+    }
+    Ok((violations, scanned))
+}
+
+/// Verifies the Fig. 7 experiment configurations (constructed in-process
+/// from the same generator and P-channel layout the case study uses).
+pub fn check_fig7() -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+    for model in fig7::fig7_models()? {
+        violations.extend(ConfigVerifier::verify(&model));
+    }
+    Ok(violations)
+}
+
+/// Checks explicit paths (fixture mode): `.rs` files get every source rule
+/// regardless of crate scope, `.model` files are parsed and verified.
+pub fn check_paths(paths: &[&Path]) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+    for path in paths {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("rs") => {
+                let file = SourceFile::load(path)?;
+                rules::lint_file(&file, RuleSet::all(), &mut violations);
+            }
+            Some(ext) if ext == MODEL_EXT => match SystemModel::load(path) {
+                Ok(model) => violations.extend(ConfigVerifier::verify(&model)),
+                Err(v) => violations.push(v),
+            },
+            _ => {
+                return Err(format!(
+                    "{}: expected a .rs or .{MODEL_EXT} file",
+                    path.display()
+                ))
+            }
+        }
+    }
+    Ok(violations)
+}

@@ -1,0 +1,916 @@
+//! Layer 2: the model-level configuration verifier.
+//!
+//! A [`SystemModel`] is a static description of one deployed configuration —
+//! the Time Slot Table σ\*, the per-VM periodic servers and task sets, the
+//! I/O-pool sizing and the NoC routing — and [`ConfigVerifier`] certifies it
+//! *before* anything runs, mirroring how the paper's Theorems 1–4 admit a
+//! configuration offline:
+//!
+//! * σ\* well-formedness — no overlapping reservations, every reservation
+//!   inside the table, and the free-slot supply bound function matching an
+//!   independent window enumeration of Eqs. 1–2.
+//! * hyperperiod divisibility — every server period `Π_i` divides `H`, the
+//!   convention the exact tests rely on.
+//! * periodic-server sanity — `1 ≤ Θ_i ≤ Π_i` (Eq. 3 preconditions).
+//! * per-VM I/O-pool capacity — the pool must hold one in-flight entry per
+//!   constrained-deadline task, or requests can be refused under a load the
+//!   analysis admitted.
+//! * NoC deadlock-freedom — a channel-dependency-graph cycle check over the
+//!   declared routes (XY routes are acyclic by construction; explicit
+//!   routes may introduce cyclic turn patterns).
+//! * optional admission — when the model opts in, Theorem 1 (G-Sched) and
+//!   Theorem 3 (L-Sched per VM) must both pass.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use ioguard_noc::topology::{Direction, Mesh, NodeId};
+use ioguard_sched::gsched::theorem1_exact;
+use ioguard_sched::lsched::theorem3_exact;
+use ioguard_sched::table::TimeSlotTable;
+use ioguard_sched::task::{PeriodicServer, SporadicTask, TaskSet};
+
+use crate::rules::Violation;
+
+/// Model-level rule identifiers.
+pub mod model_rule {
+    /// Table length / reservation bounds problems.
+    pub const TABLE: &str = "model-table";
+    /// Two σ\* reservations overlap.
+    pub const TABLE_OVERLAP: &str = "model-table-overlap";
+    /// `sbf` mismatch against the independent window enumeration.
+    pub const SBF: &str = "model-sbf";
+    /// A server period does not divide the table hyperperiod.
+    pub const HYPERPERIOD: &str = "model-hyperperiod";
+    /// Periodic-server parameters out of range.
+    pub const SERVER: &str = "model-server";
+    /// I/O pool cannot hold the VM's worst-case in-flight set.
+    pub const POOL: &str = "model-pool-capacity";
+    /// A sporadic task violates `0 < C ≤ D ≤ T`.
+    pub const TASK: &str = "model-task";
+    /// Theorem 1 (G-Sched admission) fails.
+    pub const THEOREM1: &str = "model-theorem1";
+    /// Theorem 3 (L-Sched admission) fails for some VM.
+    pub const THEOREM3: &str = "model-theorem3";
+    /// A route leaves the mesh or takes a non-unit hop.
+    pub const NOC_ROUTE: &str = "model-noc-route";
+    /// The channel dependency graph has a cycle.
+    pub const NOC_DEADLOCK: &str = "model-noc-deadlock";
+    /// The model file itself could not be parsed.
+    pub const PARSE: &str = "model-parse";
+}
+
+/// Largest hyperperiod for which the full O(H²) window enumeration
+/// cross-checks `sbf` slot by slot.
+const SBF_EXHAUSTIVE_H: u64 = 256;
+
+/// Largest hyperperiod for which the (lazy, O(H²) once) `sbf` table is
+/// built at all for structural checks; beyond this only O(H) invariants run.
+const SBF_STRUCTURAL_H: u64 = 4096;
+
+/// Hyperperiod cap handed to the exact admission tests.
+const ADMISSION_MAX_HYPER: u64 = 1 << 22;
+
+/// A route through the mesh: explicit hop list or XY-generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteSpec {
+    /// Explicit node sequence; consecutive nodes must be mesh neighbours.
+    Explicit(Vec<(u16, u16)>),
+    /// Dimension-ordered route from source to destination.
+    Xy((u16, u16), (u16, u16)),
+}
+
+/// NoC portion of a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocModel {
+    /// Mesh width (columns).
+    pub width: u16,
+    /// Mesh height (rows).
+    pub height: u16,
+    /// Declared packet routes.
+    pub routes: Vec<RouteSpec>,
+}
+
+/// One VM: its server, pool sizing and task set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmModel {
+    /// Display name.
+    pub name: String,
+    /// `(Π_i, Θ_i)` when the VM is server-scheduled.
+    pub server: Option<(u64, u64)>,
+    /// I/O-pool capacity in entries.
+    pub pool_capacity: u64,
+    /// Sporadic tasks `(T, C, D)`.
+    pub tasks: Vec<(u64, u64, u64)>,
+}
+
+/// A full static system configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemModel {
+    /// Display name.
+    pub name: String,
+    /// Where the model came from (file path or a synthetic label).
+    pub source: PathBuf,
+    /// Table hyperperiod `H` in slots.
+    pub table_len: u64,
+    /// P-channel reservations `(start, length)` in slots.
+    pub reservations: Vec<(u64, u64)>,
+    /// The VMs.
+    pub vms: Vec<VmModel>,
+    /// Optional NoC description.
+    pub noc: Option<NocModel>,
+    /// Run the Theorem 1/3 admission tests as part of verification.
+    pub admission: bool,
+}
+
+impl SystemModel {
+    /// An empty model with the given name and source label.
+    pub fn new(name: &str, source: &Path) -> Self {
+        Self {
+            name: name.to_string(),
+            source: source.to_path_buf(),
+            table_len: 0,
+            reservations: Vec::new(),
+            vms: Vec::new(),
+            noc: None,
+            admission: false,
+        }
+    }
+
+    /// Parses the line-based model format:
+    ///
+    /// ```text
+    /// # comment
+    /// model automotive
+    /// table 16000
+    /// reserve 0 2          # start length
+    /// vm safety pool=32 server=100/20
+    /// task 100 5 100       # period wcet deadline, attaches to last vm
+    /// noc 5 5
+    /// route 0,0 1,0 1,1    # explicit hop list
+    /// routexy 0,0 4,4      # XY route src dst
+    /// admission on
+    /// ```
+    ///
+    /// Parse problems are returned as `model-parse` violations so the CLI
+    /// reports them uniformly with verification findings.
+    pub fn parse(path: &Path, text: &str) -> Result<Self, Violation> {
+        let err = |line: usize, msg: String| Violation {
+            rule: model_rule::PARSE,
+            path: path.to_path_buf(),
+            line,
+            message: msg,
+        };
+        let mut model = SystemModel::new("unnamed", path);
+        for (i, raw) in text.lines().enumerate() {
+            let n = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let keyword = words.next().unwrap_or("");
+            let rest: Vec<&str> = words.collect();
+            match keyword {
+                "model" => {
+                    model.name = rest.join(" ");
+                }
+                "table" => {
+                    model.table_len =
+                        parse_u64(rest.first(), n, "table <H>").map_err(|m| err(n, m))?;
+                }
+                "reserve" => {
+                    let start = parse_u64(rest.first(), n, "reserve <start> <len>")
+                        .map_err(|m| err(n, m))?;
+                    let len = parse_u64(rest.get(1), n, "reserve <start> <len>")
+                        .map_err(|m| err(n, m))?;
+                    model.reservations.push((start, len));
+                }
+                "vm" => {
+                    let name = rest
+                        .first()
+                        .ok_or_else(|| err(n, "vm <name> [pool=N] [server=P/B]".into()))?;
+                    let mut vm = VmModel {
+                        name: (*name).to_string(),
+                        server: None,
+                        pool_capacity: 32,
+                        tasks: Vec::new(),
+                    };
+                    for opt in &rest[1..] {
+                        if let Some(v) = opt.strip_prefix("pool=") {
+                            vm.pool_capacity = v
+                                .parse()
+                                .map_err(|_| err(n, format!("bad pool capacity `{v}`")))?;
+                        } else if let Some(v) = opt.strip_prefix("server=") {
+                            let (p, b) = v
+                                .split_once('/')
+                                .ok_or_else(|| err(n, format!("server=P/B, got `{v}`")))?;
+                            let period = p
+                                .parse()
+                                .map_err(|_| err(n, format!("bad server period `{p}`")))?;
+                            let budget = b
+                                .parse()
+                                .map_err(|_| err(n, format!("bad server budget `{b}`")))?;
+                            vm.server = Some((period, budget));
+                        } else {
+                            return Err(err(n, format!("unknown vm option `{opt}`")));
+                        }
+                    }
+                    model.vms.push(vm);
+                }
+                "task" => {
+                    let t =
+                        parse_u64(rest.first(), n, "task <T> <C> <D>").map_err(|m| err(n, m))?;
+                    let c = parse_u64(rest.get(1), n, "task <T> <C> <D>").map_err(|m| err(n, m))?;
+                    let d = parse_u64(rest.get(2), n, "task <T> <C> <D>").map_err(|m| err(n, m))?;
+                    let vm = model
+                        .vms
+                        .last_mut()
+                        .ok_or_else(|| err(n, "task before any vm".into()))?;
+                    vm.tasks.push((t, c, d));
+                }
+                "noc" => {
+                    let w = parse_u64(rest.first(), n, "noc <W> <H>").map_err(|m| err(n, m))?;
+                    let h = parse_u64(rest.get(1), n, "noc <W> <H>").map_err(|m| err(n, m))?;
+                    let w = u16::try_from(w).map_err(|_| err(n, "mesh width too large".into()))?;
+                    let h = u16::try_from(h).map_err(|_| err(n, "mesh height too large".into()))?;
+                    model.noc = Some(NocModel {
+                        width: w,
+                        height: h,
+                        routes: Vec::new(),
+                    });
+                }
+                "route" | "routexy" => {
+                    let noc = model
+                        .noc
+                        .as_mut()
+                        .ok_or_else(|| err(n, "route before noc".into()))?;
+                    let mut nodes = Vec::new();
+                    for word in &rest {
+                        nodes.push(parse_node(word).map_err(|m| err(n, m))?);
+                    }
+                    if keyword == "routexy" {
+                        if nodes.len() != 2 {
+                            return Err(err(n, "routexy <src> <dst>".into()));
+                        }
+                        noc.routes.push(RouteSpec::Xy(nodes[0], nodes[1]));
+                    } else {
+                        if nodes.len() < 2 {
+                            return Err(err(n, "route needs at least two nodes".into()));
+                        }
+                        noc.routes.push(RouteSpec::Explicit(nodes));
+                    }
+                }
+                "admission" => {
+                    model.admission = matches!(rest.first().copied(), Some("on") | Some("true"));
+                }
+                other => return Err(err(n, format!("unknown directive `{other}`"))),
+            }
+        }
+        Ok(model)
+    }
+
+    /// Loads and parses a model file.
+    pub fn load(path: &Path) -> Result<Self, Violation> {
+        let text = std::fs::read_to_string(path).map_err(|e| Violation {
+            rule: model_rule::PARSE,
+            path: path.to_path_buf(),
+            line: 0,
+            message: format!("cannot read model: {e}"),
+        })?;
+        Self::parse(path, &text)
+    }
+}
+
+fn parse_u64(word: Option<&&str>, _line: usize, usage: &str) -> Result<u64, String> {
+    let word = word.ok_or_else(|| format!("usage: {usage}"))?;
+    word.parse()
+        .map_err(|_| format!("`{word}` is not a number (usage: {usage})"))
+}
+
+fn parse_node(word: &str) -> Result<(u16, u16), String> {
+    let (x, y) = word
+        .split_once(',')
+        .ok_or_else(|| format!("node `{word}` must be x,y"))?;
+    let x = x.parse().map_err(|_| format!("bad node x `{x}`"))?;
+    let y = y.parse().map_err(|_| format!("bad node y `{y}`"))?;
+    Ok((x, y))
+}
+
+/// The static configuration verifier.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConfigVerifier;
+
+impl ConfigVerifier {
+    /// Verifies `model`, returning every violation found (empty = certified).
+    pub fn verify(model: &SystemModel) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let v = |rule: &'static str, message: String| Violation {
+            rule,
+            path: model.source.clone(),
+            line: 0,
+            message: format!("[{}] {}", model.name, message),
+        };
+        let table = Self::verify_table(model, &v, &mut out);
+        let servers = Self::verify_vms(model, &v, &mut out);
+        if model.admission {
+            Self::verify_admission(model, table.as_ref(), &servers, &v, &mut out);
+        }
+        if let Some(noc) = &model.noc {
+            Self::verify_noc(noc, &v, &mut out);
+        }
+        out
+    }
+
+    fn verify_table(
+        model: &SystemModel,
+        v: &impl Fn(&'static str, String) -> Violation,
+        out: &mut Vec<Violation>,
+    ) -> Option<TimeSlotTable> {
+        let h = model.table_len;
+        if h == 0 {
+            out.push(v(model_rule::TABLE, "table length must be positive".into()));
+            return None;
+        }
+        // Bounds + overlap over the raw reservations: `from_occupied`
+        // silently collapses duplicates, so overlap must be caught here.
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        let mut ok = true;
+        for &(start, len) in &model.reservations {
+            if len == 0 {
+                out.push(v(
+                    model_rule::TABLE,
+                    format!("reservation at slot {start} has zero length"),
+                ));
+                ok = false;
+                continue;
+            }
+            let end = start.saturating_add(len);
+            if start >= h || end > h {
+                out.push(v(
+                    model_rule::TABLE,
+                    format!("reservation [{start}, {end}) exceeds table length {h}"),
+                ));
+                ok = false;
+                continue;
+            }
+            spans.push((start, end));
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            let ((a0, a1), (b0, b1)) = (w[0], w[1]);
+            if b0 < a1 {
+                out.push(v(
+                    model_rule::TABLE_OVERLAP,
+                    format!("reservations [{a0}, {a1}) and [{b0}, {b1}) overlap"),
+                ));
+                ok = false;
+            }
+        }
+        if !ok {
+            return None;
+        }
+        let occupied: Vec<u64> = spans.iter().flat_map(|&(s, e)| s..e).collect();
+        let table = match TimeSlotTable::from_occupied(h, &occupied) {
+            Ok(t) => t,
+            Err(e) => {
+                out.push(v(model_rule::TABLE, format!("table construction: {e}")));
+                return None;
+            }
+        };
+        Self::verify_sbf(&table, v, out);
+        // Hyperperiod divisibility for every server-scheduled VM.
+        for vm in &model.vms {
+            if let Some((period, _)) = vm.server {
+                if period == 0 || !h.is_multiple_of(period) {
+                    out.push(v(
+                        model_rule::HYPERPERIOD,
+                        format!(
+                            "vm `{}`: server period {period} does not divide hyperperiod {h}",
+                            vm.name
+                        ),
+                    ));
+                }
+            }
+        }
+        Some(table)
+    }
+
+    /// Cross-checks `sbf` (Eqs. 1–2) against an independent enumeration.
+    ///
+    /// For small tables every `(start, length)` window is enumerated and the
+    /// true minimum compared slot by slot; for medium tables only the cheap
+    /// structural invariants run (`sbf(0) = 0`, monotonicity, and the Eq. 2
+    /// periodic extension `sbf(t + H) = sbf(t) + F`). Huge tables are
+    /// skipped entirely — the lazy `sbf` table is O(H²) to build.
+    fn verify_sbf(
+        table: &TimeSlotTable,
+        v: &impl Fn(&'static str, String) -> Violation,
+        out: &mut Vec<Violation>,
+    ) {
+        let h = table.len();
+        if h > SBF_STRUCTURAL_H {
+            return;
+        }
+        let f = table.free_slots();
+        if h <= SBF_EXHAUSTIVE_H {
+            let free: Vec<bool> = table.iter().collect();
+            for t in 0..=2 * h {
+                let expect = (0..h)
+                    .map(|s| (0..t).filter(|&off| free[((s + off) % h) as usize]).count() as u64)
+                    .min()
+                    .unwrap_or(0);
+                let got = table.sbf(t);
+                if got != expect {
+                    out.push(v(
+                        model_rule::SBF,
+                        format!("sbf({t}) = {got}, window enumeration says {expect}"),
+                    ));
+                    return;
+                }
+            }
+            return;
+        }
+        if table.sbf(0) != 0 {
+            out.push(v(model_rule::SBF, format!("sbf(0) = {} ≠ 0", table.sbf(0))));
+        }
+        let mut prev = 0;
+        for t in 0..=h {
+            let s = table.sbf(t);
+            if s < prev {
+                out.push(v(
+                    model_rule::SBF,
+                    format!("sbf not monotone: sbf({t}) = {s} < sbf({}) = {prev}", t - 1),
+                ));
+                return;
+            }
+            prev = s;
+            let ext = table.sbf(t.saturating_add(h));
+            if ext != s.saturating_add(f) {
+                out.push(v(
+                    model_rule::SBF,
+                    format!("Eq. 2 extension broken at t = {t}: sbf(t+H) = {ext} ≠ sbf(t) + F"),
+                ));
+                return;
+            }
+        }
+    }
+
+    fn verify_vms(
+        model: &SystemModel,
+        v: &impl Fn(&'static str, String) -> Violation,
+        out: &mut Vec<Violation>,
+    ) -> Vec<Option<PeriodicServer>> {
+        let mut servers = Vec::with_capacity(model.vms.len());
+        for vm in &model.vms {
+            let server = match vm.server {
+                Some((period, budget)) => match PeriodicServer::new(period, budget) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        out.push(v(
+                            model_rule::SERVER,
+                            format!("vm `{}`: server ({period}, {budget}): {e}", vm.name),
+                        ));
+                        None
+                    }
+                },
+                None => None,
+            };
+            servers.push(server);
+            if vm.pool_capacity == 0 {
+                out.push(v(
+                    model_rule::POOL,
+                    format!("vm `{}`: pool capacity must be positive", vm.name),
+                ));
+            } else if (vm.tasks.len() as u64) > vm.pool_capacity {
+                // Constrained deadlines (D ≤ T) bound in-flight jobs to one
+                // per task; more tasks than entries means admissible load
+                // can be refused at the pool.
+                out.push(v(
+                    model_rule::POOL,
+                    format!(
+                        "vm `{}`: {} tasks exceed pool capacity {} — worst-case in-flight set overflows",
+                        vm.name,
+                        vm.tasks.len(),
+                        vm.pool_capacity
+                    ),
+                ));
+            }
+            for &(t, c, d) in &vm.tasks {
+                if let Err(e) = SporadicTask::new(t, c, d) {
+                    out.push(v(
+                        model_rule::TASK,
+                        format!("vm `{}`: task (T={t}, C={c}, D={d}): {e}", vm.name),
+                    ));
+                }
+            }
+        }
+        servers
+    }
+
+    fn verify_admission(
+        model: &SystemModel,
+        table: Option<&TimeSlotTable>,
+        servers: &[Option<PeriodicServer>],
+        v: &impl Fn(&'static str, String) -> Violation,
+        out: &mut Vec<Violation>,
+    ) {
+        let Some(table) = table else { return };
+        let all: Option<Vec<PeriodicServer>> = servers.iter().copied().collect();
+        let Some(all) = all else {
+            out.push(v(
+                model_rule::THEOREM1,
+                "admission requires a valid server on every vm".into(),
+            ));
+            return;
+        };
+        match theorem1_exact(table, &all, ADMISSION_MAX_HYPER) {
+            Ok(verdict) if verdict.is_schedulable() => {}
+            Ok(_) => out.push(v(
+                model_rule::THEOREM1,
+                "Theorem 1: server set not schedulable on the table's free slots".into(),
+            )),
+            Err(e) => out.push(v(model_rule::THEOREM1, format!("Theorem 1: {e}"))),
+        }
+        for (vm, server) in model.vms.iter().zip(&all) {
+            let tasks: Result<Vec<SporadicTask>, _> = vm
+                .tasks
+                .iter()
+                .map(|&(t, c, d)| SporadicTask::new(t, c, d))
+                .collect();
+            let Ok(tasks) = tasks else { continue };
+            let set = TaskSet::from(tasks);
+            match theorem3_exact(server, &set, ADMISSION_MAX_HYPER) {
+                Ok(verdict) if verdict.is_schedulable() => {}
+                Ok(_) => out.push(v(
+                    model_rule::THEOREM3,
+                    format!(
+                        "Theorem 3: vm `{}` not schedulable under its server",
+                        vm.name
+                    ),
+                )),
+                Err(e) => out.push(v(
+                    model_rule::THEOREM3,
+                    format!("Theorem 3: vm `{}`: {e}", vm.name),
+                )),
+            }
+        }
+    }
+
+    /// NoC checks: route validity, then channel-dependency-graph acyclicity.
+    ///
+    /// Each directed inter-router link is a CDG node; a route that enters a
+    /// router on link `a → b` and leaves on `b → c` adds the edge
+    /// `(a→b) → (b→c)`. Wormhole switching holds the full chain of links
+    /// while a packet advances, so a cycle in this graph is exactly a
+    /// potential routing deadlock (Dally & Seitz); XY routing forbids the
+    /// turns that close cycles, which the seeded-cycle fixture demonstrates.
+    fn verify_noc(
+        noc: &NocModel,
+        v: &impl Fn(&'static str, String) -> Violation,
+        out: &mut Vec<Violation>,
+    ) {
+        if noc.width == 0 || noc.height == 0 {
+            out.push(v(
+                model_rule::NOC_ROUTE,
+                format!("mesh {}×{} has a zero dimension", noc.width, noc.height),
+            ));
+            return;
+        }
+        let mesh = Mesh::new(noc.width, noc.height);
+        // Expand every route to a hop list, validating as we go.
+        let mut paths: Vec<Vec<NodeId>> = Vec::new();
+        for (ri, route) in noc.routes.iter().enumerate() {
+            match route {
+                RouteSpec::Xy(src, dst) => {
+                    let src = NodeId::new(src.0, src.1);
+                    let dst = NodeId::new(dst.0, dst.1);
+                    if !mesh.contains(src) || !mesh.contains(dst) {
+                        out.push(v(
+                            model_rule::NOC_ROUTE,
+                            format!(
+                                "route {ri}: endpoint outside {}×{} mesh",
+                                noc.width, noc.height
+                            ),
+                        ));
+                        continue;
+                    }
+                    paths.push(mesh.xy_path(src, dst));
+                }
+                RouteSpec::Explicit(nodes) => {
+                    let nodes: Vec<NodeId> =
+                        nodes.iter().map(|&(x, y)| NodeId::new(x, y)).collect();
+                    let mut ok = true;
+                    for node in &nodes {
+                        if !mesh.contains(*node) {
+                            out.push(v(
+                                model_rule::NOC_ROUTE,
+                                format!("route {ri}: node {node} outside the mesh"),
+                            ));
+                            ok = false;
+                        }
+                    }
+                    for w in nodes.windows(2) {
+                        if w[0].hops_to(w[1]) != 1 {
+                            out.push(v(
+                                model_rule::NOC_ROUTE,
+                                format!("route {ri}: {} → {} is not a unit hop", w[0], w[1]),
+                            ));
+                            ok = false;
+                        }
+                    }
+                    if ok {
+                        paths.push(nodes);
+                    }
+                }
+            }
+        }
+        // Build the CDG. Link id = router index × 4 + output-port index
+        // (N/S/E/W occupy indices 0–3 of `Direction::ALL`).
+        let links = mesh.nodes() * 4;
+        let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for path in &paths {
+            let mut prev_link: Option<usize> = None;
+            for w in path.windows(2) {
+                let dir = step_direction(w[0], w[1]);
+                let link = mesh.index_of(w[0]) * 4 + dir.index();
+                if let Some(p) = prev_link {
+                    edges.insert((p, link));
+                }
+                prev_link = Some(link);
+            }
+        }
+        let mut adj: Vec<Vec<usize>> = (0..links).map(|_| Vec::new()).collect();
+        for &(a, b) in &edges {
+            if let Some(list) = adj.get_mut(a) {
+                list.push(b);
+            }
+        }
+        if let Some(cycle) = find_cycle(&adj) {
+            let pretty: Vec<String> = cycle
+                .iter()
+                .map(|&link| {
+                    let node = mesh.node_at(link / 4);
+                    let dir = Direction::ALL
+                        .get(link % 4)
+                        .copied()
+                        .unwrap_or(Direction::Local);
+                    format!("{node}→{dir}")
+                })
+                .collect();
+            out.push(v(
+                model_rule::NOC_DEADLOCK,
+                format!(
+                    "channel dependency cycle ({} links): {}",
+                    cycle.len(),
+                    pretty.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Direction of the unit hop `a → b` (caller guarantees adjacency).
+fn step_direction(a: NodeId, b: NodeId) -> Direction {
+    if b.x > a.x {
+        Direction::East
+    } else if b.x < a.x {
+        Direction::West
+    } else if b.y > a.y {
+        Direction::South
+    } else {
+        Direction::North
+    }
+}
+
+/// Iterative three-colour DFS; returns the node sequence of the first cycle
+/// found, or `None` when the graph is acyclic.
+fn find_cycle(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; adj.len()];
+    let mut parent = vec![usize::MAX; adj.len()];
+    for start in 0..adj.len() {
+        if color.get(start) != Some(&Color::White) {
+            continue;
+        }
+        // Stack of (node, next child index).
+        let mut stack = vec![(start, 0usize)];
+        if let Some(c) = color.get_mut(start) {
+            *c = Color::Gray;
+        }
+        while let Some(&(node, next)) = stack.last() {
+            let children = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if next >= children.len() {
+                if let Some(c) = color.get_mut(node) {
+                    *c = Color::Black;
+                }
+                stack.pop();
+                continue;
+            }
+            if let Some(top) = stack.last_mut() {
+                top.1 = next + 1;
+            }
+            let child = children[next]; // lint: allow(indexing) — next < children.len() checked above
+            match color.get(child).copied() {
+                Some(Color::White) => {
+                    if let Some(c) = color.get_mut(child) {
+                        *c = Color::Gray;
+                    }
+                    if let Some(p) = parent.get_mut(child) {
+                        *p = node;
+                    }
+                    stack.push((child, 0));
+                }
+                Some(Color::Gray) => {
+                    // Found a back edge node → child: walk parents back to
+                    // child to materialize the cycle.
+                    let mut cycle = vec![child];
+                    let mut cur = node;
+                    while cur != child && cur != usize::MAX {
+                        cycle.push(cur);
+                        cur = parent.get(cur).copied().unwrap_or(usize::MAX);
+                    }
+                    cycle.reverse();
+                    return Some(cycle);
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn parse(text: &str) -> SystemModel {
+        SystemModel::parse(Path::new("mem.model"), text).expect("parses")
+    }
+
+    #[test]
+    fn parses_full_model() {
+        let m = parse(
+            "# demo\nmodel demo rig\ntable 20\nreserve 0 2\nreserve 10 2\n\
+             vm safety pool=8 server=10/3\ntask 20 2 10\n\
+             vm infotainment pool=4\ntask 20 1 20\n\
+             noc 3 3\nroutexy 0,0 2,2\nroute 0,0 1,0\nadmission on\n",
+        );
+        assert_eq!(m.name, "demo rig");
+        assert_eq!(m.table_len, 20);
+        assert_eq!(m.reservations, vec![(0, 2), (10, 2)]);
+        assert_eq!(m.vms.len(), 2);
+        assert_eq!(m.vms[0].server, Some((10, 3)));
+        assert_eq!(m.vms[0].tasks, vec![(20, 2, 10)]);
+        assert_eq!(m.vms[1].server, None);
+        assert!(m.admission);
+        let noc = m.noc.expect("noc");
+        assert_eq!((noc.width, noc.height), (3, 3));
+        assert_eq!(noc.routes.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_violations() {
+        let e = SystemModel::parse(Path::new("m"), "bogus 1\n").unwrap_err();
+        assert_eq!(e.rule, model_rule::PARSE);
+        let e = SystemModel::parse(Path::new("m"), "task 1 1 1\n").unwrap_err();
+        assert!(e.message.contains("before any vm"));
+    }
+
+    #[test]
+    fn good_model_verifies_clean() {
+        let m = parse(
+            "model ok\ntable 20\nreserve 0 2\nreserve 10 2\n\
+             vm a pool=8 server=10/3\ntask 40 2 20\n\
+             noc 3 3\nroutexy 0,0 2,2\nroutexy 2,2 0,0\nadmission on\n",
+        );
+        let v = ConfigVerifier::verify(&m);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn overlapping_reservations_flagged() {
+        let m = parse("model bad\ntable 20\nreserve 0 5\nreserve 3 4\n");
+        let v = ConfigVerifier::verify(&m);
+        assert!(
+            v.iter().any(|v| v.rule == model_rule::TABLE_OVERLAP),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_reservation_flagged() {
+        let m = parse("model bad\ntable 10\nreserve 8 4\n");
+        let v = ConfigVerifier::verify(&m);
+        assert!(v.iter().any(|v| v.rule == model_rule::TABLE), "{v:?}");
+    }
+
+    #[test]
+    fn hyperperiod_divisibility_enforced() {
+        let m = parse("model bad\ntable 20\nvm a server=7/2\n");
+        let v = ConfigVerifier::verify(&m);
+        assert!(v.iter().any(|v| v.rule == model_rule::HYPERPERIOD), "{v:?}");
+    }
+
+    #[test]
+    fn server_budget_over_period_flagged() {
+        let m = parse("model bad\ntable 20\nvm a server=10/11\n");
+        let v = ConfigVerifier::verify(&m);
+        assert!(v.iter().any(|v| v.rule == model_rule::SERVER), "{v:?}");
+    }
+
+    #[test]
+    fn pool_overflow_flagged() {
+        let m = parse("model bad\ntable 20\nvm a pool=1\ntask 20 1 20\ntask 40 1 40\n");
+        let v = ConfigVerifier::verify(&m);
+        assert!(v.iter().any(|v| v.rule == model_rule::POOL), "{v:?}");
+    }
+
+    #[test]
+    fn bad_task_flagged() {
+        let m = parse("model bad\ntable 20\nvm a\ntask 10 5 3\n"); // C > D
+        let v = ConfigVerifier::verify(&m);
+        assert!(v.iter().any(|v| v.rule == model_rule::TASK), "{v:?}");
+    }
+
+    #[test]
+    fn admission_failure_flagged() {
+        // Two servers demanding 100% of a table that is half reserved.
+        let m = parse(
+            "model bad\ntable 20\nreserve 0 10\n\
+             vm a server=10/6\nvm b server=10/6\nadmission on\n",
+        );
+        let v = ConfigVerifier::verify(&m);
+        assert!(v.iter().any(|v| v.rule == model_rule::THEOREM1), "{v:?}");
+    }
+
+    #[test]
+    fn theorem3_failure_flagged() {
+        // Server supplies 1/100; task demands 50/100 — locally infeasible.
+        let m = parse("model bad\ntable 100\nvm a server=100/1\ntask 100 50 100\nadmission on\n");
+        let v = ConfigVerifier::verify(&m);
+        assert!(v.iter().any(|v| v.rule == model_rule::THEOREM3), "{v:?}");
+    }
+
+    #[test]
+    fn xy_routes_are_deadlock_free() {
+        let mut routes = Vec::new();
+        for x in 0..4u16 {
+            for y in 0..4u16 {
+                routes.push(RouteSpec::Xy((x, y), (3, 3)));
+                routes.push(RouteSpec::Xy((3, 3), (x, y)));
+            }
+        }
+        let m = SystemModel {
+            noc: Some(NocModel {
+                width: 4,
+                height: 4,
+                routes,
+            }),
+            table_len: 10,
+            ..SystemModel::new("xy", Path::new("mem"))
+        };
+        let v = ConfigVerifier::verify(&m);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cyclic_turn_pattern_is_flagged() {
+        // Four routes circling a 2×2 square: E→S, S→W, W→N, N→E turns close
+        // the classic channel-dependency cycle XY routing forbids.
+        let m = parse(
+            "model cycle\ntable 10\nnoc 2 2\n\
+             route 0,0 1,0 1,1\n\
+             route 1,0 1,1 0,1\n\
+             route 1,1 0,1 0,0\n\
+             route 0,1 0,0 1,0\n",
+        );
+        let v = ConfigVerifier::verify(&m);
+        assert!(
+            v.iter().any(|v| v.rule == model_rule::NOC_DEADLOCK),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_route_hops_flagged() {
+        let m = parse("model bad\ntable 10\nnoc 3 3\nroute 0,0 2,2\n");
+        let v = ConfigVerifier::verify(&m);
+        assert!(v.iter().any(|v| v.rule == model_rule::NOC_ROUTE), "{v:?}");
+    }
+
+    #[test]
+    fn sbf_cross_check_runs_exhaustively_on_small_tables() {
+        // Irregular reservation pattern; the lazy sbf and the O(H²·t)
+        // enumeration must agree everywhere up to 2H.
+        let m = parse("model sbf\ntable 12\nreserve 0 3\nreserve 5 1\nreserve 8 2\n");
+        let v = ConfigVerifier::verify(&m);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,683 @@
+//! Layer 1: the source-level lint rules and their engine.
+//!
+//! Every rule is a deterministic token/line-level check over the stripped
+//! code produced by [`crate::scan`]. Rules are scoped per crate (see
+//! [`RuleSet::for_crate`]): the hot deterministic-simulation crates get the
+//! full set, support crates only the cross-cutting checks. When a file is
+//! linted explicitly (fixture mode) every rule applies.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::scan::{LineInfo, SourceFile};
+
+/// Rule identifiers (kebab-case, used in allow directives and reports).
+pub mod rule {
+    /// `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` /
+    /// `unimplemented!` in non-test library code.
+    pub const PANIC_SITE: &str = "panic-site";
+    /// Direct slice/array indexing `expr[...]` in non-test library code.
+    pub const INDEXING: &str = "indexing";
+    /// Bare `+` / `*` (or `+=` / `*=`) on time/slot arithmetic that should
+    /// use `checked_*` / `saturating_*`.
+    pub const UNCHECKED_ARITH: &str = "unchecked-arith";
+    /// `as` cast to a type narrower than 64 bits.
+    pub const CAST_NARROWING: &str = "cast-narrowing";
+    /// `HashMap`/`HashSet`/`std::time` in deterministic-simulation code.
+    pub const NONDETERMINISM: &str = "nondeterminism";
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+    /// An allow directive without the mandatory justification text.
+    pub const MISSING_JUSTIFICATION: &str = "missing-justification";
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (one of [`rule`]'s constants or a model rule).
+    pub rule: &'static str,
+    /// File (or model) the violation was found in.
+    pub path: PathBuf,
+    /// 1-based line, zero for whole-file/model findings.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(
+                f,
+                "{}: [{}] {}",
+                self.path.display(),
+                self.rule,
+                self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path.display(),
+                self.line,
+                self.rule,
+                self.message
+            )
+        }
+    }
+}
+
+/// Which rules run on a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Deny panic sites.
+    pub panic_site: bool,
+    /// Deny direct indexing.
+    pub indexing: bool,
+    /// Deny unchecked time/slot arithmetic.
+    pub unchecked_arith: bool,
+    /// Deny narrowing casts.
+    pub cast_narrowing: bool,
+    /// Deny nondeterministic containers/clocks.
+    pub nondeterminism: bool,
+}
+
+/// Crates whose library code must be panic-free (hypervisor hot paths and
+/// everything feeding the deterministic simulator).
+pub const PANIC_FREE_CRATES: &[&str] = &["ioguard-hypervisor", "ioguard-sched", "ioguard-noc"];
+
+/// Crates whose `u64` time/slot arithmetic must be checked/saturating.
+pub const CHECKED_ARITH_CRATES: &[&str] = &["ioguard-sched", "ioguard-hypervisor"];
+
+/// Crates on the deterministic-simulation path: no hash-ordered containers,
+/// no wall clocks.
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "ioguard-noc",
+    "ioguard-sched",
+    "ioguard-hypervisor",
+    "ioguard-sim",
+    "ioguard-workload",
+    "ioguard-baselines",
+];
+
+impl RuleSet {
+    /// Every rule enabled (fixture mode / explicit paths).
+    pub fn all() -> Self {
+        Self {
+            panic_site: true,
+            indexing: true,
+            unchecked_arith: true,
+            cast_narrowing: true,
+            nondeterminism: true,
+        }
+    }
+
+    /// The rule set for a workspace crate, by package name.
+    pub fn for_crate(name: &str) -> Self {
+        Self {
+            panic_site: PANIC_FREE_CRATES.contains(&name),
+            indexing: PANIC_FREE_CRATES.contains(&name),
+            unchecked_arith: CHECKED_ARITH_CRATES.contains(&name),
+            cast_narrowing: CHECKED_ARITH_CRATES.contains(&name),
+            nondeterminism: DETERMINISTIC_CRATES.contains(&name),
+        }
+    }
+
+    /// True when no rule is enabled.
+    pub fn is_empty(&self) -> bool {
+        !(self.panic_site
+            || self.indexing
+            || self.unchecked_arith
+            || self.cast_narrowing
+            || self.nondeterminism)
+    }
+}
+
+/// Identifier components that mark a line as time/slot arithmetic. An
+/// identifier participates when any of its `_`-separated components is in
+/// this set (so `horizon_slots`, `free_count` and `enqueued_at` all match).
+const TIME_VOCAB: &[&str] = &[
+    "slot",
+    "slots",
+    "deadline",
+    "deadlines",
+    "period",
+    "periods",
+    "wcet",
+    "release",
+    "releases",
+    "hyper",
+    "budget",
+    "horizon",
+    "now",
+    "supply",
+    "demand",
+    "free",
+    "enqueued",
+    "cycles",
+    "reserved",
+];
+
+/// Panic-site tokens. `.unwrap_or*` / `.expect_err` deliberately do not
+/// match (`(` and `)` anchor the exact method).
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Nondeterminism tokens: hash-ordered containers and wall clocks.
+const NONDET_TOKENS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "RandomState",
+    "std::time",
+    "Instant::now",
+    "SystemTime",
+];
+
+/// Narrowing cast targets: anything below 64 bits loses range on the `u64`
+/// slot/time domain. `as usize`/`as u64`/`as i64`/`as f64` stay legal (the
+/// simulator asserts a 64-bit platform at compile time).
+const NARROW_CASTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Lints one preprocessed file with the given rule set, appending findings
+/// to `out`. Allow directives suppress findings per rule; an allow without a
+/// justification is itself a violation.
+pub fn lint_file(file: &SourceFile, rules: RuleSet, out: &mut Vec<Violation>) {
+    // Unjustified allows are violations wherever they appear.
+    for allow in file
+        .file_allows
+        .iter()
+        .chain(file.lines.iter().flat_map(|l| l.allows.iter()))
+    {
+        if !allow.justified() {
+            out.push(Violation {
+                rule: rule::MISSING_JUSTIFICATION,
+                path: file.path.clone(),
+                line: allow.line,
+                message: format!(
+                    "allow({}) requires a justification of at least {} characters",
+                    allow.rule,
+                    crate::scan::MIN_JUSTIFICATION
+                ),
+            });
+        }
+    }
+    if rules.is_empty() {
+        return;
+    }
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        if rules.panic_site {
+            check_tokens(file, line, rule::PANIC_SITE, PANIC_TOKENS, out);
+        }
+        if rules.nondeterminism {
+            check_tokens(file, line, rule::NONDETERMINISM, NONDET_TOKENS, out);
+        }
+        if rules.indexing {
+            check_indexing(file, line, out);
+        }
+        if rules.cast_narrowing {
+            check_casts(file, line, out);
+        }
+        if rules.unchecked_arith {
+            check_arith(file, line, out);
+        }
+    }
+}
+
+fn check_tokens(
+    file: &SourceFile,
+    line: &LineInfo,
+    rule_name: &'static str,
+    tokens: &[&str],
+    out: &mut Vec<Violation>,
+) {
+    for token in tokens {
+        if !contains_token(&line.code, token) {
+            continue;
+        }
+        if file.allow_for(rule_name, line).is_some() {
+            continue;
+        }
+        out.push(Violation {
+            rule: rule_name,
+            path: file.path.clone(),
+            line: line.number,
+            message: format!("`{}` in non-test library code", token.trim_matches('.')),
+        });
+    }
+}
+
+/// Token containment with identifier-boundary checks on both sides, so
+/// `HashMap` does not match `MyHashMapLike` and `panic!` does not match
+/// `dont_panic!`.
+fn contains_token(code: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(code.as_bytes()[at - 1] as char);
+        let end = at + token.len();
+        let first = token.chars().next().unwrap_or(' ');
+        let last = token.chars().last().unwrap_or(' ');
+        // Only enforce the trailing boundary for tokens ending in an
+        // identifier character (e.g. `HashMap`, `std::time`).
+        let after_ok = !is_ident_char(last)
+            || end >= code.len()
+            || !is_ident_char(code.as_bytes()[end] as char);
+        let leading_ok = !is_ident_char(first) || before_ok;
+        if leading_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Direct indexing: `[` immediately preceded by an identifier character,
+/// `)` or `]`. Attribute syntax (`#[...]`), array literals (`= [...]`),
+/// slice types (`&[...]`) and macros (`vec![...]`) never match.
+fn check_indexing(file: &SourceFile, line: &LineInfo, out: &mut Vec<Violation>) {
+    let bytes = line.code.as_bytes();
+    let mut hits = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1] as char;
+        if is_ident_char(prev) || prev == ')' || prev == ']' {
+            hits += 1;
+        }
+    }
+    if hits == 0 || file.allow_for(rule::INDEXING, line).is_some() {
+        return;
+    }
+    out.push(Violation {
+        rule: rule::INDEXING,
+        path: file.path.clone(),
+        line: line.number,
+        message: format!(
+            "direct indexing ({hits} site{}) — use get()/get_mut() or an allow with bounds justification",
+            if hits == 1 { "" } else { "s" }
+        ),
+    });
+}
+
+fn check_casts(file: &SourceFile, line: &LineInfo, out: &mut Vec<Violation>) {
+    let code = &line.code;
+    let mut start = 0;
+    let mut flagged: Option<&str> = None;
+    while let Some(pos) = code[start..].find(" as ") {
+        let at = start + pos + 4;
+        let rest = &code[at..];
+        for target in NARROW_CASTS {
+            if rest.starts_with(target) {
+                let end = at + target.len();
+                if end >= code.len() || !is_ident_char(code.as_bytes()[end] as char) {
+                    flagged = Some(target);
+                }
+            }
+        }
+        start = at;
+    }
+    let Some(target) = flagged else { return };
+    if file.allow_for(rule::CAST_NARROWING, line).is_some() {
+        return;
+    }
+    out.push(Violation {
+        rule: rule::CAST_NARROWING,
+        path: file.path.clone(),
+        line: line.number,
+        message: format!("narrowing `as {target}` cast — use try_from or a saturating conversion"),
+    });
+}
+
+/// True when any identifier in `text` has a `_`-component in the time
+/// vocabulary.
+fn mentions_time_vocab(text: &str) -> bool {
+    text.split(|c: char| !is_ident_char(c))
+        .filter(|w| !w.is_empty())
+        .flat_map(|w| w.split('_'))
+        .any(|part| {
+            let lower = part.to_ascii_lowercase();
+            TIME_VOCAB.contains(&lower.as_str())
+        })
+}
+
+/// True when either operand adjacent to the operator at byte `op_at`
+/// mentions the time vocabulary. An operand is the maximal run of
+/// identifier/`.`/`(`/`)`/`[`/`]`/`:` characters next to the operator
+/// (whitespace between operand and operator is skipped).
+fn operand_mentions_vocab(code: &str, op_at: usize) -> bool {
+    let is_operand_char =
+        |c: char| is_ident_char(c) || matches!(c, '.' | '(' | ')' | '[' | ']' | ':');
+    let left = code[..op_at]
+        .trim_end()
+        .chars()
+        .rev()
+        .take_while(|&c| is_operand_char(c))
+        .collect::<String>();
+    let right = code
+        .get(op_at + 1..)
+        .unwrap_or("")
+        .trim_start_matches('=')
+        .trim_start()
+        .chars()
+        .take_while(|&c| is_operand_char(c))
+        .collect::<String>();
+    mentions_time_vocab(&left) || mentions_time_vocab(&right)
+}
+
+fn check_arith(file: &SourceFile, line: &LineInfo, out: &mut Vec<Violation>) {
+    let code = &line.code;
+    // Heuristic exclusions, documented in DESIGN.md: float math cannot
+    // overflow into wrong slots; checked/saturating/wrapping lines already
+    // comply; assertion lines are diagnostics, not production arithmetic.
+    if code.contains("f64")
+        || code.contains("f32")
+        || code.contains("checked_")
+        || code.contains("saturating_")
+        || code.contains("wrapping_")
+        || code.contains("assert")
+    {
+        return;
+    }
+    if !mentions_time_vocab(code) {
+        return;
+    }
+    let bytes = code.as_bytes();
+    let mut op: Option<char> = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'+' && b != b'*' {
+            continue;
+        }
+        // Binary use: the previous non-space char ends an operand.
+        let prev = bytes[..i]
+            .iter()
+            .rev()
+            .map(|&p| p as char)
+            .find(|c| !c.is_whitespace());
+        let prev_ok = prev.is_some_and(|c| is_ident_char(c) || c == ')' || c == ']');
+        // The next non-space char starts an operand (rejects `+ 'a` bounds
+        // and `*const`-style tokens).
+        let next = bytes[i + 1..]
+            .iter()
+            .map(|&n| n as char)
+            .find(|c| !c.is_whitespace());
+        let compound = next == Some('=');
+        let next_ok =
+            compound || next.is_some_and(|c| is_ident_char(c) || c == '(' || c == '&' || c == '.');
+        // The vocabulary word must sit in an adjacent operand, not merely
+        // somewhere on the line — `T: Clone + Send` in a fn named `slots`
+        // is a trait bound, not slot arithmetic.
+        if prev_ok && next_ok && operand_mentions_vocab(code, i) {
+            op = Some(b as char);
+            break;
+        }
+    }
+    let Some(op) = op else { return };
+    if file.allow_for(rule::UNCHECKED_ARITH, line).is_some() {
+        return;
+    }
+    out.push(Violation {
+        rule: rule::UNCHECKED_ARITH,
+        path: file.path.clone(),
+        line: line.number,
+        message: format!(
+            "unchecked `{op}` on time/slot arithmetic — use checked_/saturating_ operations"
+        ),
+    });
+}
+
+/// Crate-root rule: `lib.rs` must carry `#![forbid(unsafe_code)]`.
+pub fn check_forbid_unsafe(file: &SourceFile, out: &mut Vec<Violation>) {
+    let has = file
+        .lines
+        .iter()
+        .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+    if !has {
+        out.push(Violation {
+            rule: rule::FORBID_UNSAFE,
+            path: file.path.clone(),
+            line: 0,
+            message: "crate root missing #![forbid(unsafe_code)]".into(),
+        });
+    }
+}
+
+/// Lints every `.rs` file under `dir` (recursively) with `rules`.
+pub fn lint_tree(dir: &Path, rules: RuleSet, out: &mut Vec<Violation>) -> Result<usize, String> {
+    let mut scanned = 0usize;
+    let mut stack = vec![dir.to_path_buf()];
+    let mut files: Vec<PathBuf> = Vec::new();
+    while let Some(d) = stack.pop() {
+        if d.is_file() {
+            if d.extension().is_some_and(|e| e == "rs") {
+                files.push(d);
+            }
+            continue;
+        }
+        let entries =
+            std::fs::read_dir(&d).map_err(|e| format!("cannot list {}: {e}", d.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", d.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    for path in files {
+        let file = SourceFile::load(&path)?;
+        lint_file(&file, rules, out);
+        scanned += 1;
+    }
+    Ok(scanned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn lint_src(text: &str, rules: RuleSet) -> Vec<Violation> {
+        let file = SourceFile::parse(Path::new("mem.rs"), text);
+        let mut out = Vec::new();
+        lint_file(&file, rules, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_in_library_code() {
+        let v = lint_src("fn f() { x.unwrap(); y.expect(\"m\"); }\n", RuleSet::all());
+        assert_eq!(
+            v.iter().filter(|v| v.rule == rule::PANIC_SITE).count(),
+            2,
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_match() {
+        let v = lint_src(
+            "fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 0); x.unwrap_or_default(); }\n",
+            RuleSet::all(),
+        );
+        assert!(v.iter().all(|v| v.rule != rule::PANIC_SITE), "{v:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let v = lint_src(
+            "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); v[0]; }\n}\n",
+            RuleSet::all(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses() {
+        let v = lint_src(
+            "fn f() { x.unwrap(); } // lint: allow(panic-site) — invariant: x was checked above\n",
+            RuleSet::all(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allow_without_justification_is_flagged() {
+        let v = lint_src(
+            "fn f() { x.unwrap(); } // lint: allow(panic-site)\n",
+            RuleSet::all(),
+        );
+        assert!(v.iter().any(|v| v.rule == rule::MISSING_JUSTIFICATION));
+        // The panic-site itself stays suppressed — the finding is about the
+        // justification, not the site.
+        assert!(v.iter().all(|v| v.rule != rule::PANIC_SITE));
+    }
+
+    #[test]
+    fn flags_indexing_but_not_attributes_or_literals() {
+        let v = lint_src(
+            "#[derive(Debug)]\nfn f(v: &[u64]) -> u64 { let a = [0u64; 4]; v[0] + a[1] }\n",
+            RuleSet {
+                indexing: true,
+                ..RuleSet::for_crate("other")
+            },
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == rule::INDEXING).count(), 1);
+    }
+
+    #[test]
+    fn file_wide_indexing_allow() {
+        let v = lint_src(
+            "// lint: allow(indexing, file) — arrays are sized to mesh.nodes() at construction\nfn f(v: &[u64]) -> u64 { v[0] }\n",
+            RuleSet::all(),
+        );
+        assert!(v.iter().all(|v| v.rule != rule::INDEXING), "{v:?}");
+    }
+
+    #[test]
+    fn flags_unchecked_time_arithmetic() {
+        let v = lint_src(
+            "fn f(deadline: u64, period: u64) -> u64 { deadline + period }\n",
+            RuleSet::all(),
+        );
+        assert_eq!(
+            v.iter().filter(|v| v.rule == rule::UNCHECKED_ARITH).count(),
+            1,
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn checked_and_float_lines_pass() {
+        let v = lint_src(
+            "fn f(deadline: u64, period: u64) -> u64 { deadline.checked_add(period).unwrap_or(u64::MAX) }\nfn g(u: f64, period: u64) -> f64 { u * period as f64 }\n",
+            RuleSet {
+                unchecked_arith: true,
+                ..RuleSet::for_crate("other")
+            },
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn trait_bounds_and_lifetimes_do_not_trip_arith() {
+        let v = lint_src(
+            "fn slots<'a, T: Clone + Send>(x: &'a T) -> impl Iterator<Item = bool> + 'a { std::iter::empty() }\n",
+            RuleSet {
+                unchecked_arith: true,
+                ..RuleSet::for_crate("other")
+            },
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn non_vocab_arithmetic_passes() {
+        let v = lint_src(
+            "fn f(a: u64, b: u64) -> u64 { a + b }\n",
+            RuleSet {
+                unchecked_arith: true,
+                ..RuleSet::for_crate("other")
+            },
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_narrowing_casts_only() {
+        let v = lint_src(
+            "fn f(x: u64) -> u32 { let _k = x as usize; let _m = x as u64; x as u32 }\n",
+            RuleSet::all(),
+        );
+        assert_eq!(
+            v.iter().filter(|v| v.rule == rule::CAST_NARROWING).count(),
+            1,
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn flags_hash_containers_and_clocks() {
+        let v = lint_src(
+            "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }\n",
+            RuleSet::all(),
+        );
+        assert_eq!(
+            v.iter().filter(|v| v.rule == rule::NONDETERMINISM).count(),
+            2,
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn crate_scoping_disables_rules() {
+        let rules = RuleSet::for_crate("ioguard-hw");
+        assert!(rules.is_empty());
+        let rules = RuleSet::for_crate("ioguard-noc");
+        assert!(rules.panic_site && !rules.unchecked_arith);
+        let rules = RuleSet::for_crate("ioguard-sched");
+        assert!(rules.panic_site && rules.unchecked_arith && rules.nondeterminism);
+    }
+
+    #[test]
+    fn forbid_unsafe_rule() {
+        let good = SourceFile::parse(Path::new("lib.rs"), "#![forbid(unsafe_code)]\n");
+        let bad = SourceFile::parse(Path::new("lib.rs"), "//! docs only\npub fn f() {}\n");
+        let mut out = Vec::new();
+        check_forbid_unsafe(&good, &mut out);
+        assert!(out.is_empty());
+        check_forbid_unsafe(&bad, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, rule::FORBID_UNSAFE);
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let v = lint_src(
+            "// x.unwrap() panic! HashMap\nfn f() { let s = \"deadline + period HashMap .unwrap()\"; }\n",
+            RuleSet::all(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,465 @@
+//! Source preprocessing for the token/line-level lint rules.
+//!
+//! The analyzer deliberately avoids a full Rust parser (the workspace builds
+//! offline against vendored stubs, so `syn` is not available). Instead each
+//! file is preprocessed into per-line *stripped code*:
+//!
+//! * line comments, block comments (nested) and doc comments are removed —
+//!   doc examples therefore never trigger rules;
+//! * string, raw-string, byte-string and char literal *contents* are blanked
+//!   so operator and keyword scans cannot match inside text;
+//! * `#[cfg(test)]` items and `#[test]` functions are tracked by brace depth
+//!   and marked as test code, which most rules skip.
+//!
+//! Comments are not discarded entirely: they are scanned for allowlist
+//! directives of the form
+//!
+//! ```text
+//! // lint: allow(rule-name) — justification text
+//! // lint: allow(rule-name, file) — justification text
+//! ```
+//!
+//! A same-line directive applies to that line; a directive on its own line
+//! applies to the next code line; the `file` form applies to the whole file.
+//! The justification text is mandatory (see [`Allow::justified`]).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Minimum length of a non-empty allowlist justification. Shorter texts are
+/// treated as missing: the policy requires a real explanation, not "ok".
+pub const MIN_JUSTIFICATION: usize = 10;
+
+/// One allowlist directive extracted from a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being allowed (e.g. `panic-site`).
+    pub rule: String,
+    /// Free-text justification following the directive.
+    pub justification: String,
+    /// True for `allow(rule, file)` — applies to the entire file.
+    pub file_wide: bool,
+    /// 1-based line the directive appeared on.
+    pub line: usize,
+}
+
+impl Allow {
+    /// True when the justification satisfies the policy.
+    pub fn justified(&self) -> bool {
+        self.justification.trim().len() >= MIN_JUSTIFICATION
+    }
+}
+
+/// One preprocessed source line.
+#[derive(Debug, Clone)]
+pub struct LineInfo {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code with comments removed and literal contents blanked.
+    pub code: String,
+    /// True when the line sits inside a `#[cfg(test)]` item or `#[test]`
+    /// function.
+    pub in_test: bool,
+    /// Rules allowed on this line (same-line or preceding-line directives).
+    pub allows: Vec<Allow>,
+}
+
+/// A fully preprocessed source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path the file was read from.
+    pub path: PathBuf,
+    /// Preprocessed lines, in order.
+    pub lines: Vec<LineInfo>,
+    /// File-wide allow directives.
+    pub file_allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    /// Reads and preprocesses a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message when the file cannot be read.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Ok(Self::parse(path, &text))
+    }
+
+    /// Preprocesses source text (exposed for tests and fixtures).
+    pub fn parse(path: &Path, text: &str) -> Self {
+        let stripped = strip(text);
+        let mut lines = Vec::with_capacity(stripped.len());
+        let mut file_allows = Vec::new();
+        let mut pending: Vec<Allow> = Vec::new();
+
+        // Test-region tracking over the stripped code.
+        let mut depth: usize = 0;
+        let mut test_stack: Vec<usize> = Vec::new();
+        let mut test_attr_armed = false;
+
+        for (idx, (code, comment)) in stripped.into_iter().enumerate() {
+            let number = idx + 1;
+            let mut allows: Vec<Allow> = Vec::new();
+            for mut allow in parse_directives(&comment, number) {
+                if allow.file_wide {
+                    file_allows.push(allow);
+                } else if code.trim().is_empty() {
+                    // Comment-only line: applies to the next code line.
+                    pending.push(allow);
+                } else {
+                    allow.file_wide = false;
+                    allows.push(allow);
+                }
+            }
+            let comment_only = code.trim().is_empty();
+            if !comment_only {
+                allows.append(&mut pending);
+            }
+
+            let in_test_before = !test_stack.is_empty();
+            if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+                test_attr_armed = true;
+            }
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        if test_attr_armed {
+                            test_stack.push(depth);
+                            test_attr_armed = false;
+                        }
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if test_stack.last().is_some_and(|&d| d >= depth) {
+                            test_stack.pop();
+                        }
+                    }
+                    // `#[cfg(test)] use foo;` — attribute consumed
+                    // without opening a body.
+                    ';' if depth == 0 => {
+                        test_attr_armed = false;
+                    }
+                    _ => {}
+                }
+            }
+            let in_test = in_test_before || !test_stack.is_empty() || test_attr_armed;
+
+            lines.push(LineInfo {
+                number,
+                code,
+                in_test,
+                allows,
+            });
+        }
+
+        Self {
+            path: path.to_path_buf(),
+            lines,
+            file_allows,
+        }
+    }
+
+    /// The file-wide or per-line allow covering `rule` at `line`, if any.
+    pub fn allow_for<'a>(&'a self, rule: &str, line: &'a LineInfo) -> Option<&'a Allow> {
+        line.allows
+            .iter()
+            .chain(self.file_allows.iter())
+            .find(|a| a.rule == rule)
+    }
+}
+
+impl fmt::Display for SourceFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} lines)", self.path.display(), self.lines.len())
+    }
+}
+
+/// Splits source text into per-line `(stripped code, comment text)` pairs.
+fn strip(text: &str) -> Vec<(String, String)> {
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut out: Vec<(String, String)> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Normal;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            out.push((std::mem::take(&mut code), std::mem::take(&mut comment)));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => match (c, next) {
+                ('/', Some('/')) => {
+                    state = State::LineComment;
+                    i += 2;
+                }
+                ('/', Some('*')) => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                ('"', _) => {
+                    // Keep the quotes so tokens cannot merge across them.
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                }
+                ('r', Some('"' | '#')) if is_raw_string_start(&chars, i) => {
+                    let hashes = count_hashes(&chars, i + 1);
+                    code.push('"');
+                    state = State::RawStr(hashes);
+                    i += 2 + hashes; // r, hashes, opening quote
+                }
+                ('\'', _) => {
+                    // Distinguish lifetimes from char literals: a lifetime is
+                    // `'ident` NOT followed by a closing quote.
+                    let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
+                        && chars.get(i + 2).copied() != Some('\'');
+                    if is_lifetime {
+                        code.push('\'');
+                        i += 1;
+                    } else {
+                        code.push('\'');
+                        state = State::Char;
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(d) => match (c, next) {
+                ('*', Some('/')) => {
+                    state = if d == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(d - 1)
+                    };
+                    i += 2;
+                }
+                ('/', Some('*')) => {
+                    state = State::BlockComment(d + 1);
+                    i += 2;
+                }
+                _ => {
+                    comment.push(c);
+                    i += 1;
+                }
+            },
+            State::Str => match (c, next) {
+                ('\\', Some(_)) => i += 2,
+                ('"', _) => {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => match (c, next) {
+                ('\\', Some(_)) => i += 2,
+                ('\'', _) => {
+                    code.push('\'');
+                    state = State::Normal;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        out.push((code, comment));
+    }
+    out
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // `r"..."` or `r#..#"..."#..#` — but NOT an identifier like `raw`.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j).copied() == Some('#') {
+        j += 1;
+    }
+    chars.get(j).copied() == Some('"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> usize {
+    let mut n = 0;
+    while chars.get(i).copied() == Some('#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn closes_raw_string(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k).copied() == Some('#'))
+}
+
+/// Extracts `lint: allow(...)` directives from a line's comment text.
+fn parse_directives(comment: &str, line: usize) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint: allow(") {
+        let after = &rest[pos + "lint: allow(".len()..];
+        let Some(close) = after.find(')') else { break };
+        let inner = &after[..close];
+        let tail = &after[close + 1..];
+        let mut parts = inner.splitn(2, ',');
+        let rule = parts.next().unwrap_or("").trim().to_string();
+        let file_wide = parts
+            .next()
+            .is_some_and(|scope| scope.trim().eq_ignore_ascii_case("file"));
+        let justification = tail
+            .trim_start_matches([' ', '\t'])
+            .trim_start_matches(['—', '-', ':', '–'])
+            .trim()
+            .to_string();
+        if !rule.is_empty() {
+            out.push(Allow {
+                rule,
+                justification,
+                file_wide,
+                line,
+            });
+        }
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn parse(text: &str) -> SourceFile {
+        SourceFile::parse(Path::new("mem.rs"), text)
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let f = parse("let a = 1; // unwrap()\nlet b = /* panic! */ 2;\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(!f.lines[1].code.contains("panic"));
+        assert!(f.lines[1].code.contains("let b ="));
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let f = parse("a /* x /* y */ z */ b\n");
+        assert_eq!(f.lines[0].code.trim(), "a  b");
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_quotes() {
+        let f = parse("let s = \"call .unwrap() now\";\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("\"\""));
+    }
+
+    #[test]
+    fn blanks_raw_strings_and_chars() {
+        let f = parse("let s = r#\"panic!\"#; let c = '['; let l: &'static str = \"\";\n");
+        let code = &f.lines[0].code;
+        assert!(!code.contains("panic"));
+        assert!(!code.contains('['));
+        assert!(code.contains("'static"));
+    }
+
+    #[test]
+    fn escaped_quotes_inside_strings() {
+        let f = parse("let s = \"a\\\"b.unwrap()\"; x\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.ends_with(" x"));
+    }
+
+    #[test]
+    fn marks_cfg_test_regions() {
+        let text = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn prod2() {}\n";
+        let f = parse(text);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test); // the attribute line itself
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_poison_rest_of_file() {
+        let text = "#[cfg(test)]\nuse foo::bar;\nfn prod() { x.unwrap(); }\n";
+        let f = parse(text);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn same_line_allow_applies_to_line() {
+        let f = parse("x.unwrap(); // lint: allow(panic-site) — contract documented upstream\n");
+        assert_eq!(f.lines[0].allows.len(), 1);
+        let a = &f.lines[0].allows[0];
+        assert_eq!(a.rule, "panic-site");
+        assert!(a.justified());
+    }
+
+    #[test]
+    fn standalone_allow_applies_to_next_code_line() {
+        let f = parse("// lint: allow(indexing) — bounded by construction above\nlet y = v[0];\n");
+        assert!(f.lines[0].allows.is_empty());
+        assert_eq!(f.lines[1].allows.len(), 1);
+        assert_eq!(f.lines[1].allows[0].rule, "indexing");
+    }
+
+    #[test]
+    fn file_wide_allow_collected_separately() {
+        let f = parse(
+            "// lint: allow(indexing, file) — dense arrays sized at construction\nfn a() {}\n",
+        );
+        assert_eq!(f.file_allows.len(), 1);
+        assert!(f.file_allows[0].file_wide);
+        assert!(f.allow_for("indexing", &f.lines[1]).is_some());
+    }
+
+    #[test]
+    fn unjustified_allow_detected() {
+        let f = parse("x.unwrap(); // lint: allow(panic-site)\n");
+        assert!(!f.lines[0].allows[0].justified());
+        let g = parse("x.unwrap(); // lint: allow(panic-site) — ok\n");
+        assert!(!g.lines[0].allows[0].justified());
+    }
+}

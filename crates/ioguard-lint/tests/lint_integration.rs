@@ -1,0 +1,95 @@
+//! End-to-end checks of the acceptance criteria: the workspace and the
+//! Fig. 7 configurations lint clean, and every seeded-bad fixture is
+//! rejected with the expected rule.
+
+use std::path::{Path, PathBuf};
+
+use ioguard_lint::model::model_rule;
+use ioguard_lint::rules::rule;
+use ioguard_lint::{check_fig7, check_paths, check_workspace};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let (violations, scanned) = check_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        violations.is_empty(),
+        "workspace must lint clean:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // All nine pre-existing crates plus ioguard-lint itself.
+    assert!(scanned >= 40, "expected a full scan, got {scanned} files");
+}
+
+#[test]
+fn fig7_configs_verify_clean() {
+    let violations = check_fig7().expect("fig7 models construct");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn seeded_unwrap_fixture_is_rejected() {
+    let path = fixture("bad_unwrap.rs");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    for expected in [
+        rule::PANIC_SITE,
+        rule::INDEXING,
+        rule::UNCHECKED_ARITH,
+        rule::CAST_NARROWING,
+        rule::NONDETERMINISM,
+        rule::MISSING_JUSTIFICATION,
+    ] {
+        assert!(rules.contains(&expected), "missing {expected}: {rules:?}");
+    }
+}
+
+#[test]
+fn seeded_overlap_model_is_rejected() {
+    let path = fixture("bad_overlap.model");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == model_rule::TABLE_OVERLAP),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn seeded_cyclic_route_model_is_rejected() {
+    let path = fixture("bad_cycle.model");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == model_rule::NOC_DEADLOCK),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn good_model_fixture_passes() {
+    let path = fixture("good.model");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn unknown_extension_is_a_usage_error() {
+    let path = fixture("nope.txt");
+    assert!(check_paths(&[path.as_path()]).is_err());
+}

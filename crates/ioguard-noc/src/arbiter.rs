@@ -60,6 +60,7 @@ impl Arbiter for RoundRobin {
         debug_assert_eq!(requests.len(), self.size);
         for offset in 0..self.size {
             let idx = (self.next + offset) % self.size;
+            // lint: allow(indexing) — idx < size = requests.len(), by the modulo
             if requests[idx] {
                 self.next = (idx + 1) % self.size;
                 return Some(idx);

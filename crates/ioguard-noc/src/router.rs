@@ -9,6 +9,9 @@
 //! I/O controllers relies on FIFO queues, which forbids context switches at
 //! the hardware level").
 
+// lint: allow(indexing, file) — every index is Direction::index(), which is
+// 0..5 by construction, into the router's fixed five-port arrays.
+
 use std::collections::VecDeque;
 
 use crate::arbiter::{Arbiter, ArbiterKind};

@@ -86,6 +86,7 @@ impl Direction {
             Direction::South => Direction::North,
             Direction::East => Direction::West,
             Direction::West => Direction::East,
+            // lint: allow(panic-site) — documented API contract (# Panics): Local has no opposite
             Direction::Local => panic!("local port has no opposite"),
         }
     }
@@ -192,6 +193,7 @@ impl Mesh {
         let mut here = src;
         while here != dst {
             let dir = self.xy_route(here, dst);
+            // lint: allow(panic-site) — xy_route only steps toward dst, so the neighbor exists while here != dst
             here = self.neighbor(here, dir).expect("xy route stays in mesh");
             path.push(here);
         }

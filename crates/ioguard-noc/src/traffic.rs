@@ -129,15 +129,18 @@ pub fn run_load_point(config: &SweepConfig, offered_load: f64) -> Result<LoadPoi
                         .pattern
                         .destination(src, mesh.width(), mesh.height(), &mut rng)
                 {
-                    let packet = Packet::new(
+                    // A zero-payload config makes the packet unconstructible;
+                    // the flow is skipped rather than panicking mid-warmup.
+                    let Ok(packet) = Packet::new(
                         next_id,
                         PacketKind::Memory,
                         src,
                         dst,
                         config.payload_flits,
                         0,
-                    )
-                    .expect("payload ≥ 1");
+                    ) else {
+                        continue;
+                    };
                     // Saturated NIs drop the injection attempt — offered
                     // load beyond saturation cannot be forced in.
                     if net.inject(packet).is_ok() {

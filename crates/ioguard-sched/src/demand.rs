@@ -31,7 +31,7 @@ use crate::task::{PeriodicServer, SporadicTask, TaskSet};
 /// ```
 #[inline]
 pub fn dbf_server(server: &PeriodicServer, t: u64) -> u64 {
-    (t / server.period()) * server.budget()
+    (t / server.period()).saturating_mul(server.budget())
 }
 
 /// Total server demand `Σ_i dbf(Γ_i, t)` — the left-hand side of Theorem 1.
@@ -96,7 +96,9 @@ pub fn sbf_server(server: &PeriodicServer, t: u64) -> u64 {
 #[inline]
 pub fn dbf_task(task: &SporadicTask, t: u64) -> u64 {
     match t.checked_sub(task.deadline()) {
-        Some(head) => (head / task.period() + 1) * task.wcet(),
+        Some(head) => (head / task.period())
+            .saturating_add(1)
+            .saturating_mul(task.wcet()),
         None => 0,
     }
 }
@@ -194,8 +196,9 @@ impl Iterator for DemandSweep {
                 break;
             }
             self.heap.pop();
+            // lint: allow(indexing) — idx was bounds-valid at heap-insert time (sources.len() when pushed)
             let (stride, step) = self.sources[idx];
-            self.demand += step;
+            self.demand = self.demand.saturating_add(step);
             match at.checked_add(stride) {
                 Some(next) if next <= self.bound => self.heap.push(Reverse((next, idx))),
                 _ => {}

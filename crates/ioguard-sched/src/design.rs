@@ -84,6 +84,7 @@ impl std::error::Error for SynthesisFailure {
 /// found by binary search (`sbf(Γ, ·)` is monotone in `Θ`).
 fn minimal_budget(period: u64, tasks: &TaskSet, max_hyper: u64) -> Result<Option<u64>, SchedError> {
     // Quick reject: even the full budget fails.
+    // lint: allow(panic-site) — infallible: PeriodicServer::new only rejects Θ > Π or zero, and Θ = Π ≥ 1 here
     let full = PeriodicServer::new(period, period).expect("Θ = Π is valid");
     match theorem3_exact(&full, tasks, max_hyper) {
         Ok(v) if !v.is_schedulable() => return Ok(None),
@@ -93,6 +94,7 @@ fn minimal_budget(period: u64, tasks: &TaskSet, max_hyper: u64) -> Result<Option
     let (mut lo, mut hi) = (1u64, period); // invariant: hi passes
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
+        // lint: allow(panic-site) — infallible: the bisection keeps 1 ≤ lo ≤ mid ≤ hi ≤ Π
         let server = PeriodicServer::new(period, mid).expect("1 ≤ mid ≤ Π");
         let passes = theorem3_exact(&server, tasks, max_hyper)?.is_schedulable();
         if passes {
@@ -115,6 +117,7 @@ fn vm_candidates(
     for &period in &config.candidate_periods {
         match minimal_budget(period, tasks, config.max_hyper_period) {
             Ok(Some(theta)) => {
+                // lint: allow(panic-site) — infallible: minimal_budget only returns Θ it already constructed
                 out.push(PeriodicServer::new(period, theta).expect("validated"));
             }
             Ok(None) => {}
@@ -127,6 +130,7 @@ fn vm_candidates(
     out.sort_by(|a, b| {
         a.bandwidth()
             .partial_cmp(&b.bandwidth())
+            // lint: allow(panic-site) — infallible: bandwidth() is Θ/Π of positive integers, never NaN
             .expect("bandwidths are finite")
             .then(b.period().cmp(&a.period()))
     });
@@ -179,6 +183,7 @@ pub fn synthesize_servers(
         let chosen: Vec<PeriodicServer> = cursor
             .iter()
             .zip(&candidates)
+            // lint: allow(indexing) — cursors only advance behind the `cursor[i] + 1 < cands.len()` guard below
             .map(|(&c, cands)| cands[c])
             .collect();
         match theorem1_exact(sigma, &chosen, config.max_hyper_period) {
@@ -189,14 +194,17 @@ pub fn synthesize_servers(
                 // changing the period mix.
                 let mut best: Option<(usize, f64)> = None;
                 for (i, cands) in candidates.iter().enumerate() {
-                    if cursor[i] + 1 < cands.len() {
-                        let delta = cands[cursor[i] + 1].bandwidth() - cands[cursor[i]].bandwidth();
-                        if best.is_none() || delta < best.expect("checked").1 {
+                    // lint: allow(indexing) — cursor has one entry per candidate list; i is its enumerate() index
+                    let c = cursor[i];
+                    if let (Some(next), Some(cur)) = (cands.get(c + 1), cands.get(c)) {
+                        let delta = next.bandwidth() - cur.bandwidth();
+                        if best.is_none_or(|b| delta < b.1) {
                             best = Some((i, delta));
                         }
                     }
                 }
                 match best {
+                    // lint: allow(indexing) — i was produced by the enumerate() over candidates just above
                     Some((i, _)) => cursor[i] += 1,
                     None => return Err(SynthesisFailure::GlobalInfeasible),
                 }

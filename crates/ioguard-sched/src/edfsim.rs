@@ -12,6 +12,11 @@
 //! constant-time hardware operation) and runs the one with the earliest
 //! absolute deadline, preempting whatever ran before.
 
+// lint: allow(indexing, file) — `pending`/`ids` are kept the same length
+// and indexed only below len() inside the sweep loops; `states` is sized to
+// the server slice; `owners` is sized to the horizon and indexed by t <
+// horizon.
+
 use serde::{Deserialize, Serialize};
 
 use ioguard_sim::rng::Xoshiro256StarStar;
@@ -38,15 +43,15 @@ pub struct Job {
 pub fn synchronous_releases(tasks: &TaskSet, horizon: u64) -> Vec<Job> {
     let mut jobs = Vec::new();
     for (idx, task) in tasks.iter().enumerate() {
-        let mut release = 0;
+        let mut release = 0u64;
         while release < horizon {
             jobs.push(Job {
                 task: idx,
                 release,
-                deadline: release + task.deadline(),
+                deadline: release.saturating_add(task.deadline()),
                 wcet: task.wcet(),
             });
-            release += task.period();
+            release = release.saturating_add(task.period());
         }
     }
     jobs.sort_by_key(|j| (j.release, j.task));
@@ -60,15 +65,19 @@ pub fn sporadic_releases(tasks: &TaskSet, horizon: u64, seed: u64) -> Vec<Job> {
     let mut rng = Xoshiro256StarStar::new(seed);
     let mut jobs = Vec::new();
     for (idx, task) in tasks.iter().enumerate() {
-        let mut release = rng.range_u64(0, task.period() + 1);
+        let mut release = rng.range_u64(0, task.period().saturating_add(1));
         while release < horizon {
             jobs.push(Job {
                 task: idx,
                 release,
-                deadline: release + task.deadline(),
+                deadline: release.saturating_add(task.deadline()),
                 wcet: task.wcet(),
             });
-            release += rng.range_u64(task.period(), 2 * task.period() + 1);
+            let gap = rng.range_u64(
+                task.period(),
+                task.period().saturating_mul(2).saturating_add(1),
+            );
+            release = release.saturating_add(gap);
         }
     }
     jobs.sort_by_key(|j| (j.release, j.task));
@@ -237,7 +246,7 @@ pub fn simulate_server_allocation(
         // Replenish any server whose period boundary is at t.
         for (i, server) in servers.iter().enumerate() {
             if t > 0 && t % server.period() == 0 {
-                states[i].deadline = t + server.period();
+                states[i].deadline = t.saturating_add(server.period());
                 states[i].remaining = server.budget();
             }
         }

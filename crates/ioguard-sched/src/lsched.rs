@@ -89,8 +89,11 @@ pub fn theorem3_exact(
     // Integer bandwidth condition: demand rate ≤ supply rate over one LCM.
     // dbf grows by hyper·ΣC/T per hyper-period and sbf by hyper·Θ/Π; both
     // are integers because hyper is a common multiple.
-    let demand_rate: u64 = tasks.iter().map(|t| (hyper / t.period()) * t.wcet()).sum();
-    let supply_rate = (hyper / server.period()) * server.budget();
+    let demand_rate: u64 = tasks
+        .iter()
+        .map(|t| (hyper / t.period()).saturating_mul(t.wcet()))
+        .fold(0u64, u64::saturating_add);
+    let supply_rate = (hyper / server.period()).saturating_mul(server.budget());
     if demand_rate > supply_rate {
         // Constructive violation search within a few hyper-periods.
         for (t, demand) in DemandSweep::tasks(tasks, bound.saturating_mul(4)) {

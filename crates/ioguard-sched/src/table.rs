@@ -10,6 +10,10 @@
 //!   table);
 //! * for `t ≥ H`, by `sbf(σ, t) = sbf(σ, t mod H) + ⌊t/H⌋·F` (Eq. 2).
 
+// lint: allow(indexing, file) — every mask/enum-table index is reduced
+// modulo the table length H (or range-checked against it) first, and the
+// prefix array of build_enum_table has length 2H+1 with indices ≤ 2H.
+
 use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
@@ -139,10 +143,14 @@ impl TimeSlotTable {
         // Collect all jobs over one hyper-period: (deadline, release, wcet).
         let mut jobs: Vec<(u64, u64, u64)> = Vec::new();
         for task in tasks {
-            let mut release = 0;
+            let mut release = 0u64;
             while release < hyper {
-                jobs.push((release + task.deadline(), release, task.wcet()));
-                release += task.period();
+                jobs.push((
+                    release.saturating_add(task.deadline()),
+                    release,
+                    task.wcet(),
+                ));
+                release = release.saturating_add(task.period());
             }
         }
         // EDF order: earliest absolute deadline first.
@@ -236,8 +244,9 @@ impl TimeSlotTable {
         if t < h {
             table[t as usize]
         } else {
-            // Eq. 2: sbf(σ, t) = sbf(σ, t mod H) + ⌊t/H⌋·F.
-            table[(t % h) as usize] + (t / h) * self.free_count
+            // Eq. 2: sbf(σ, t) = sbf(σ, t mod H) + ⌊t/H⌋·F. Saturation is
+            // sound: a clamped result still lower-bounds the true supply.
+            table[(t % h) as usize].saturating_add((t / h).saturating_mul(self.free_count))
         }
     }
 
@@ -246,7 +255,7 @@ impl TimeSlotTable {
     pub fn supply_in_window(&self, start: u64, len: u64) -> u64 {
         let h = self.len();
         let full_periods = len / h;
-        let mut total = full_periods * self.free_count;
+        let mut total = full_periods.saturating_mul(self.free_count);
         let rem = len % h;
         for off in 0..rem {
             if self.is_free(start + off) {
@@ -271,7 +280,7 @@ fn build_enum_table(free: &[bool]) -> Vec<u64> {
     // Prefix sums over two periods make circular windows O(1).
     let mut prefix = vec![0u64; 2 * h + 1];
     for i in 0..2 * h {
-        prefix[i + 1] = prefix[i] + u64::from(free[i % h]);
+        prefix[i + 1] = prefix[i].saturating_add(u64::from(free[i % h]));
     }
     let mut table = vec![0u64; h];
     for (t, entry) in table.iter_mut().enumerate().skip(1) {

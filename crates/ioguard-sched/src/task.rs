@@ -157,7 +157,7 @@ impl PeriodicServer {
     /// `2(Π − Θ)` slots can pass with no supply at all.
     #[inline]
     pub const fn worst_case_gap(&self) -> u64 {
-        2 * (self.period - self.budget)
+        2u64.saturating_mul(self.period.saturating_sub(self.budget))
     }
 }
 

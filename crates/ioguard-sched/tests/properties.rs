@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use ioguard_sched::demand::{dbf_server, dbf_task, dbf_tasks, sbf_server};
+use ioguard_sched::demand::{dbf_server, dbf_task, dbf_tasks, sbf_server, DemandSweep};
 use ioguard_sched::edfsim::{
     simulate_edf, simulate_server_allocation, simulate_two_layer, sporadic_releases,
     synchronous_releases,
@@ -245,5 +245,75 @@ proptest! {
             prop_assert!(v >= prev);
             prev = v;
         }
+    }
+
+    /// Edge case: an empty source set sweeps nothing for any bound, and any
+    /// source set sweeps nothing over the degenerate interval `(0, 0]`.
+    #[test]
+    fn sweep_empty_sets_and_zero_bound_yield_nothing(
+        bound in any::<u64>(),
+        servers in prop::collection::vec(arb_server(), 0..=3),
+        tasks in arb_task_set(3),
+    ) {
+        prop_assert_eq!(DemandSweep::servers(&[], bound).count(), 0);
+        prop_assert_eq!(DemandSweep::tasks(&TaskSet::new(), bound).count(), 0);
+        // bound = 0: every first jump (≥ 1 slot) lies outside the sweep.
+        prop_assert_eq!(DemandSweep::servers(&servers, 0).count(), 0);
+        prop_assert_eq!(DemandSweep::tasks(&tasks, 0).count(), 0);
+        // dbf itself is zero at t = 0 — the sweep and the closed form agree.
+        prop_assert_eq!(dbf_tasks(&tasks, 0), 0);
+    }
+
+    /// Edge case: every yielded jump point is strictly positive and within
+    /// the bound, and jump points are strictly increasing.
+    #[test]
+    fn sweep_jump_points_positive_and_increasing(
+        servers in prop::collection::vec(arb_server(), 1..=4),
+        bound in 1u64..256,
+    ) {
+        let mut prev = 0;
+        for (t, _) in DemandSweep::servers(&servers, bound) {
+            prop_assert!(t > prev, "jump points must strictly increase");
+            prop_assert!(t <= bound);
+            prev = t;
+        }
+    }
+
+    /// Edge case: near-u64::MAX parameters must saturate, not overflow.
+    /// The running demand clamps at u64::MAX and stays monotone, and the
+    /// sweep terminates even when the next jump point would overflow.
+    #[test]
+    fn sweep_saturates_near_u64_max(extra in 0u64..8, shift in 0u32..8) {
+        // A server whose budget is huge: two steps exceed u64::MAX.
+        let theta = u64::MAX - extra;
+        let giant = PeriodicServer::new(u64::MAX, theta).expect("Θ ≤ Π");
+        // Π = u64::MAX: the first jump is at u64::MAX; the follow-up jump
+        // would overflow and must simply retire the source.
+        let swept: Vec<(u64, u64)> = DemandSweep::servers(&[giant], u64::MAX).collect();
+        prop_assert_eq!(swept, vec![(u64::MAX, theta)]);
+
+        // Several saturating sources together: demand clamps at u64::MAX
+        // and never decreases afterwards.
+        let pi = u64::MAX >> shift;
+        let chunky = PeriodicServer::new(pi, pi - extra.min(pi - 1)).expect("Θ ≤ Π");
+        let small = PeriodicServer::new(3, 2).expect("Θ ≤ Π");
+        let mut prev_demand = 0u64;
+        let mut steps = 0u32;
+        for (t, demand) in DemandSweep::servers(&[chunky, small], u64::MAX) {
+            prop_assert!(demand >= prev_demand, "saturation must stay monotone");
+            prop_assert!(t >= 1);
+            prev_demand = demand;
+            steps += 1;
+            if steps > 64 {
+                break; // the small server alone yields ~2^63 events
+            }
+        }
+        prop_assert!(steps > 0);
+
+        // The closed-form dbf saturates the same way instead of panicking.
+        prop_assert_eq!(dbf_server(&giant, u64::MAX), theta);
+        let tau = SporadicTask::new(u64::MAX, u64::MAX, u64::MAX).expect("C = D = T");
+        prop_assert_eq!(dbf_task(&tau, u64::MAX), u64::MAX);
+        prop_assert_eq!(dbf_task(&tau, u64::MAX - 1), 0);
     }
 }
