@@ -12,6 +12,8 @@
 //!   Sec. IV schedulability-analysis experiments.
 //! * [`engine`] — the work-stealing experiment engine the case study runs
 //!   on: deterministic results at any thread count.
+//! * [`chaos`] — the robustness battery: fault-plan sweeps (adversarial
+//!   VMs, lossy NoCs, stalling devices) asserting the isolation claim.
 //! * [`prelude`] — the commonly used types re-exported in one place.
 //!
 //! ## Quickstart
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod casestudy;
+pub mod chaos;
 pub mod engine;
 pub mod experiments;
 pub mod predictability;
@@ -45,6 +48,7 @@ pub mod prelude {
     pub use crate::casestudy::{
         CaseStudyConfig, CaseStudyPoint, Fig7Report, PointSummary, SystemUnderTest,
     };
+    pub use crate::chaos::{ChaosSweep, ChaosSweepReport};
     pub use crate::engine::{run_indexed, EngineStats};
     pub use crate::experiments::{fig6_report, fig8_report, table1_report};
     pub use crate::predictability::{latency_profiles, PredictabilityConfig};

@@ -1,0 +1,32 @@
+//! # ioguard-faults
+//!
+//! Deterministic fault injection and chaos scenarios for the I/O-GUARD
+//! reproduction.
+//!
+//! The crate has three layers:
+//!
+//! - [`plan`] — a seeded [`FaultPlan`]: rates for NoC link failures, packet
+//!   drops/corruption, congestion bursts, device stalls, plus an optional
+//!   adversarial VM (flooding, WCET overruns, malformed requests). Every
+//!   fault decision is a *pure hash* of `(seed, tag, coordinates)`, never a
+//!   sequential RNG draw, so a plan replays bit-identically at any thread
+//!   count or evaluation order.
+//! - [`noc`] — a [`NocFaultDriver`] that applies a plan's link schedule and
+//!   burst traffic to a live `ioguard-noc` network, window by window, and
+//!   marks packets for drop/corruption at injection.
+//! - [`chaos`] — a [`ChaosScenario`] that drives a full hypervisor (guarded
+//!   EDF budgets, watchdog, admission guard, degradation modes) plus a mesh
+//!   NoC through a plan and returns a [`ChaosOutcome`] whose
+//!   `isolation_holds()` checks the paper's core claim empirically: a
+//!   misbehaving VM hurts only itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod noc;
+pub mod plan;
+
+pub use chaos::{ChaosOutcome, ChaosScenario};
+pub use noc::NocFaultDriver;
+pub use plan::FaultPlan;

@@ -156,6 +156,152 @@ impl IoController {
     }
 }
 
+/// Retry discipline of the per-transaction watchdog: how long a transaction
+/// may stall before the driver retries it, how many retries are budgeted,
+/// and the exponential backoff between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Consecutive no-progress slots before a retry fires.
+    pub timeout_slots: u64,
+    /// Bounded retry budget per fault episode.
+    pub max_retries: u32,
+    /// Backoff after the first retry, in slots (each further retry doubles
+    /// it, capped at `backoff_cap`).
+    pub backoff_base: u64,
+    /// Upper bound of the exponential backoff, in slots.
+    pub backoff_cap: u64,
+}
+
+impl RetryPolicy {
+    /// The calibrated default: 4-slot timeout, 3 retries, 2-slot base
+    /// backoff capped at 64 slots.
+    pub const fn real_time() -> Self {
+        Self {
+            timeout_slots: 4,
+            max_retries: 3,
+            backoff_base: 2,
+            backoff_cap: 64,
+        }
+    }
+
+    /// Backoff before retry `attempt` (1-based): `base · 2^(attempt-1)`,
+    /// saturating, capped at `backoff_cap` and never below one slot.
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        let doublings = attempt.saturating_sub(1).min(63);
+        self.backoff_base
+            .saturating_mul(1u64 << doublings)
+            .clamp(1, self.backoff_cap.max(1))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::real_time()
+    }
+}
+
+/// Outcome of one watchdog observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogVerdict {
+    /// Still counting toward the timeout — keep waiting.
+    Armed,
+    /// The timeout fired: retry the transaction after `backoff_slots`.
+    Retry {
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Backoff window before the retry, in slots.
+        backoff_slots: u64,
+    },
+    /// The retry budget is exhausted — escalate (degrade).
+    Exhausted,
+}
+
+/// Per-transaction watchdog: observes progress (or the lack of it) on the
+/// device and drives the timeout → retry → backoff → exhaustion cycle.
+///
+/// # Example
+///
+/// ```
+/// use ioguard_hypervisor::driver::{RetryPolicy, Watchdog, WatchdogVerdict};
+///
+/// let mut wd = Watchdog::new(RetryPolicy { timeout_slots: 2, max_retries: 1, backoff_base: 2, backoff_cap: 8 });
+/// assert_eq!(wd.note_stall(0), WatchdogVerdict::Armed);
+/// let v = wd.note_stall(1); // timeout: first retry, 2-slot backoff
+/// assert_eq!(v, WatchdogVerdict::Retry { attempt: 1, backoff_slots: 2 });
+/// assert!(wd.in_backoff(2) && !wd.in_backoff(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Watchdog {
+    policy: RetryPolicy,
+    stalled: u64,
+    attempt: u32,
+    backoff_until: u64,
+    episode: bool,
+}
+
+impl Watchdog {
+    /// Creates a watchdog with the given retry policy.
+    pub const fn new(policy: RetryPolicy) -> Self {
+        Self {
+            policy,
+            stalled: 0,
+            attempt: 0,
+            backoff_until: 0,
+            episode: false,
+        }
+    }
+
+    /// The retry policy.
+    pub const fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Retries issued in the current fault episode.
+    pub const fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// True while the post-retry backoff window is open at `now`.
+    pub fn in_backoff(&self, now: u64) -> bool {
+        now < self.backoff_until
+    }
+
+    /// Reports one granted slot in which the transaction made no progress.
+    /// Returns the escalation verdict; after [`WatchdogVerdict::Exhausted`]
+    /// the cycle restarts so a persistent fault escalates repeatedly.
+    pub fn note_stall(&mut self, now: u64) -> WatchdogVerdict {
+        self.episode = true;
+        self.stalled = self.stalled.saturating_add(1);
+        if self.stalled < self.policy.timeout_slots.max(1) {
+            return WatchdogVerdict::Armed;
+        }
+        self.stalled = 0;
+        if self.attempt >= self.policy.max_retries {
+            self.attempt = 0;
+            self.backoff_until = 0;
+            return WatchdogVerdict::Exhausted;
+        }
+        self.attempt += 1;
+        let backoff_slots = self.policy.backoff_for(self.attempt);
+        self.backoff_until = now.saturating_add(backoff_slots).saturating_add(1);
+        WatchdogVerdict::Retry {
+            attempt: self.attempt,
+            backoff_slots,
+        }
+    }
+
+    /// Reports progress on the device. Returns `true` when this closes an
+    /// active fault episode (the caller traces a recovery).
+    pub fn note_progress(&mut self) -> bool {
+        let recovered = self.episode;
+        self.stalled = 0;
+        self.attempt = 0;
+        self.backoff_until = 0;
+        self.episode = false;
+        recovered
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,6 +35,18 @@ pub enum HvError {
     /// invariant violation (scheduler bug), surfaced as a value instead of
     /// a panic.
     EmptyPool,
+    /// The VM's submissions are refused by flood control until the given
+    /// slot (babbling-idiot countermeasure).
+    Throttled {
+        /// The throttled VM.
+        vm: usize,
+        /// First slot at which submissions are accepted again.
+        until: u64,
+    },
+    /// The hypervisor is in a degraded operating mode that refuses this
+    /// class of submission (best-effort in degraded mode, all run-time
+    /// jobs in P-channel-only mode).
+    DegradedMode,
 }
 
 impl fmt::Display for HvError {
@@ -52,6 +64,12 @@ impl fmt::Display for HvError {
             }
             HvError::EmptyPool => {
                 write!(f, "slot granted to a pool with an empty shadow register")
+            }
+            HvError::Throttled { vm, until } => {
+                write!(f, "vm {vm} throttled by flood control until slot {until}")
+            }
+            HvError::DegradedMode => {
+                write!(f, "submission refused: hypervisor in degraded mode")
             }
         }
     }
@@ -83,6 +101,8 @@ mod tests {
                 "time slot table",
             ),
             (HvError::EmptyPool, "empty shadow register"),
+            (HvError::Throttled { vm: 1, until: 40 }, "flood control"),
+            (HvError::DegradedMode, "degraded"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle));

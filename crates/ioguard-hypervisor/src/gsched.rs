@@ -29,6 +29,12 @@ pub enum GschedPolicy {
     GlobalEdf,
     /// Periodic-server mediated allocation (one server per VM).
     ServerBased(Vec<PeriodicServer>),
+    /// EDF over shadow registers, guarded by per-VM server budgets: the
+    /// earliest *task* deadline wins (like [`GschedPolicy::GlobalEdf`]), but
+    /// a VM that has burned its budget `Θ_i` inside the current period `Π_i`
+    /// is throttled — skipped instead of stealing free slots from σ\* — so a
+    /// WCET-overrunning or babbling VM cannot crowd out the others.
+    GuardedEdf(Vec<PeriodicServer>),
 }
 
 /// Run-time state of the G-Sched.
@@ -36,8 +42,13 @@ pub enum GschedPolicy {
 pub struct Gsched {
     policy: GschedPolicy,
     /// Per-VM (remaining budget, current server deadline) — only used by
-    /// the server-based policy.
+    /// the server-backed policies.
     server_state: Vec<(u64, u64)>,
+    /// Per-VM external throttle windows (`vm` gets no slot while
+    /// `now < throttle_until[vm]`); empty until the first throttle.
+    throttle_until: Vec<u64>,
+    /// Slot of the most recent [`Gsched::tick`].
+    now: u64,
 }
 
 impl Gsched {
@@ -51,23 +62,67 @@ impl Gsched {
     pub fn new(policy: GschedPolicy) -> Self {
         let server_state = match &policy {
             GschedPolicy::GlobalEdf => Vec::new(),
-            GschedPolicy::ServerBased(servers) => {
+            GschedPolicy::ServerBased(servers) | GschedPolicy::GuardedEdf(servers) => {
                 servers.iter().map(|s| (s.budget(), s.period())).collect()
             }
         };
         Self {
             policy,
             server_state,
+            throttle_until: Vec::new(),
+            now: 0,
         }
     }
 
     /// Advances server replenishment to slot `now` (no-op for global EDF).
     pub fn tick(&mut self, now: u64) {
-        if let GschedPolicy::ServerBased(servers) = &self.policy {
+        self.now = now;
+        if let GschedPolicy::ServerBased(servers) | GschedPolicy::GuardedEdf(servers) = &self.policy
+        {
             for (i, server) in servers.iter().enumerate() {
                 if now > 0 && now.is_multiple_of(server.period()) {
                     self.server_state[i] = (server.budget(), now.saturating_add(server.period()));
                 }
+            }
+        }
+    }
+
+    /// Opens an external throttle window: VM `vm` receives no free slot
+    /// while `now < until` regardless of policy (flood-control escalation;
+    /// an out-of-range `vm` is ignored).
+    pub fn throttle(&mut self, vm: usize, until: u64) {
+        if self.throttle_until.len() <= vm {
+            if vm >= 1 << 20 {
+                return; // nonsensical VM index; don't let it size the table
+            }
+            self.throttle_until.resize(vm + 1, 0);
+        }
+        self.throttle_until[vm] = self.throttle_until[vm].max(until);
+    }
+
+    /// True while VM `vm` sits inside an external throttle window.
+    pub fn is_throttled(&self, vm: usize) -> bool {
+        self.throttle_until.get(vm).is_some_and(|&u| self.now < u)
+    }
+
+    /// True when any slot-denial mechanism can be active: a server-backed
+    /// policy, or at least one throttle window ever opened. Callers use
+    /// this to skip per-slot denial accounting on the unguarded fast path.
+    pub fn has_guards(&self) -> bool {
+        !matches!(self.policy, GschedPolicy::GlobalEdf) || !self.throttle_until.is_empty()
+    }
+
+    /// True when VM `vm` would be denied a free slot right now even with
+    /// buffered work: externally throttled, or budget-exhausted under a
+    /// server-backed policy.
+    pub fn is_blocked(&self, vm: usize) -> bool {
+        if self.is_throttled(vm) {
+            return true;
+        }
+        match self.policy {
+            GschedPolicy::GlobalEdf => false,
+            GschedPolicy::ServerBased(_) | GschedPolicy::GuardedEdf(_) => {
+                self.server_state.get(vm).is_none_or(|s| s.0 == 0)
             }
         }
     }
@@ -82,10 +137,12 @@ impl Gsched {
             GschedPolicy::GlobalEdf => pools
                 .iter()
                 .enumerate()
+                .filter(|(vm, _)| !self.is_throttled(*vm))
                 .filter_map(|(vm, p)| p.shadow_key().map(|(d, t)| (d, t, vm)))
                 .min()
                 .map(|(_, _, vm)| vm),
             GschedPolicy::ServerBased(_) => self.grant_server_based(pools),
+            GschedPolicy::GuardedEdf(_) => self.grant_guarded_edf(pools),
         }
     }
 
@@ -99,9 +156,38 @@ impl Gsched {
     /// registers.
     pub fn grant_indexed(&mut self, pools: &[IoPool], index: &ShadowIndex) -> Option<usize> {
         match &self.policy {
-            GschedPolicy::GlobalEdf => index.min().map(|(_, _, vm)| vm),
+            GschedPolicy::GlobalEdf => {
+                let winner = index.min().map(|(_, _, vm)| vm);
+                match winner {
+                    // Fast path: comparator-tree winner is not throttled.
+                    Some(vm) if !self.is_throttled(vm) => Some(vm),
+                    // A throttle window is open on the winner: fall back to
+                    // the filtered linear scan (rare; throttles only exist
+                    // under active flood control).
+                    Some(_) => self.grant(pools),
+                    None => None,
+                }
+            }
             GschedPolicy::ServerBased(_) => self.grant_server_based(pools),
+            GschedPolicy::GuardedEdf(_) => self.grant_guarded_edf(pools),
         }
+    }
+
+    /// EDF over shadow registers restricted to VMs with remaining budget
+    /// and no open throttle window; the winner burns one budget slot.
+    fn grant_guarded_edf(&mut self, pools: &[IoPool]) -> Option<usize> {
+        debug_assert_eq!(self.server_state.len(), pools.len(), "one server per pool");
+        let winner = pools
+            .iter()
+            .enumerate()
+            .filter(|(vm, _)| self.server_state[*vm].0 > 0 && !self.is_throttled(*vm))
+            .filter_map(|(vm, p)| p.shadow_key().map(|(d, t)| (d, t, vm)))
+            .min()
+            .map(|(_, _, vm)| vm);
+        if let Some(vm) = winner {
+            self.server_state[vm].0 -= 1;
+        }
+        winner
     }
 
     fn grant_server_based(&mut self, pools: &[IoPool]) -> Option<usize> {
@@ -109,7 +195,9 @@ impl Gsched {
         let winner = pools
             .iter()
             .enumerate()
-            .filter(|(vm, p)| self.server_state[*vm].0 > 0 && !p.is_empty())
+            .filter(|(vm, p)| {
+                self.server_state[*vm].0 > 0 && !p.is_empty() && !self.is_throttled(*vm)
+            })
             .map(|(vm, _)| (self.server_state[vm].1, vm))
             .min();
         if let Some((_, vm)) = winner {
@@ -130,7 +218,9 @@ impl Gsched {
     pub fn remaining_budget(&self, vm: usize) -> u64 {
         match self.policy {
             GschedPolicy::GlobalEdf => u64::MAX,
-            GschedPolicy::ServerBased(_) => self.server_state.get(vm).map_or(0, |s| s.0),
+            GschedPolicy::ServerBased(_) | GschedPolicy::GuardedEdf(_) => {
+                self.server_state.get(vm).map_or(0, |s| s.0)
+            }
         }
     }
 }
@@ -245,5 +335,71 @@ mod tests {
     fn policy_accessor() {
         let g = Gsched::new(GschedPolicy::GlobalEdf);
         assert_eq!(*g.policy(), GschedPolicy::GlobalEdf);
+    }
+
+    #[test]
+    fn guarded_edf_orders_by_task_deadline_within_budget() {
+        // Unlike ServerBased (server-deadline order), GuardedEdf picks the
+        // earliest *task* deadline — here VM 1 despite equal servers.
+        let servers = vec![
+            PeriodicServer::new(10, 2).unwrap(),
+            PeriodicServer::new(10, 2).unwrap(),
+        ];
+        let mut g = Gsched::new(GschedPolicy::GuardedEdf(servers));
+        let pools = vec![pool_with(&[(1, 100)]), pool_with(&[(2, 50)])];
+        assert_eq!(g.grant(&pools), Some(1));
+        assert_eq!(g.remaining_budget(1), 1);
+    }
+
+    #[test]
+    fn guarded_edf_throttles_overrunning_vm() {
+        // VM 0 floods with the tightest deadlines but only holds budget for
+        // 2 slots per period — VM 1's single job still gets served.
+        let servers = vec![
+            PeriodicServer::new(10, 2).unwrap(),
+            PeriodicServer::new(10, 2).unwrap(),
+        ];
+        let mut g = Gsched::new(GschedPolicy::GuardedEdf(servers));
+        let pools = vec![
+            pool_with(&[(1, 1), (2, 2), (3, 3), (4, 4)]),
+            pool_with(&[(9, 1000)]),
+        ];
+        let grants: Vec<Option<usize>> = (0..3).map(|_| g.grant(&pools)).collect();
+        assert_eq!(grants, vec![Some(0), Some(0), Some(1)]);
+        assert!(g.is_blocked(0), "budget burned: vm 0 is throttled");
+        assert!(!g.is_blocked(1), "vm 1 still holds budget");
+        assert_eq!(g.grant(&pools), Some(1));
+    }
+
+    #[test]
+    fn guarded_edf_replenishes_each_period() {
+        let servers = vec![PeriodicServer::new(4, 1).unwrap()];
+        let mut g = Gsched::new(GschedPolicy::GuardedEdf(servers));
+        let pools = vec![pool_with(&[(1, 100)])];
+        assert_eq!(g.grant(&pools), Some(0));
+        assert_eq!(g.grant(&pools), None);
+        g.tick(4);
+        assert_eq!(g.grant(&pools), Some(0));
+    }
+
+    #[test]
+    fn external_throttle_blocks_all_policies() {
+        let mut g = Gsched::new(GschedPolicy::GlobalEdf);
+        let pools = vec![pool_with(&[(1, 5)]), pool_with(&[(2, 50)])];
+        g.tick(10);
+        g.throttle(0, 20);
+        assert!(g.is_throttled(0) && g.is_blocked(0));
+        // The throttled VM has the earlier deadline but loses the slot.
+        assert_eq!(g.grant(&pools), Some(1));
+        g.tick(20); // window closed
+        assert!(!g.is_throttled(0));
+        assert_eq!(g.grant(&pools), Some(0));
+    }
+
+    #[test]
+    fn throttle_ignores_absurd_vm_index() {
+        let mut g = Gsched::new(GschedPolicy::GlobalEdf);
+        g.throttle(usize::MAX, 100);
+        assert!(!g.is_throttled(usize::MAX));
     }
 }

@@ -17,15 +17,17 @@
 
 use serde::{Deserialize, Serialize};
 
-use ioguard_sim::stats::OnlineStats;
 use ioguard_sim::time::Slots;
 use ioguard_sim::trace::{TraceBuffer, TraceKind};
 
+use crate::driver::{RetryPolicy, Watchdog, WatchdogVerdict};
 use crate::error::HvError;
 use crate::gsched::{Gsched, GschedPolicy};
 use crate::pchannel::{PChannel, PredefinedTask};
 use crate::pool::{IoPool, PoolEntry};
 use crate::shadowindex::ShadowIndex;
+
+pub use crate::metrics::{HvMetrics, VmMetrics};
 
 /// Default hardware queue capacity of each I/O pool.
 pub const DEFAULT_POOL_CAPACITY: usize = 32;
@@ -59,6 +61,13 @@ pub struct HypervisorParams {
     /// Optional P-channel slack reclamation (None: pre-defined jobs consume
     /// their full reserved WCET).
     pub reclaim: Option<PchannelReclaim>,
+    /// Optional per-transaction watchdog (None: device faults burn slots
+    /// without retries and never trigger degradation).
+    pub watchdog: Option<RetryPolicy>,
+    /// Graceful-degradation tuning (recovery threshold).
+    pub degradation: DegradationPolicy,
+    /// Optional submission flood control (None: no admission throttling).
+    pub admission_guard: Option<AdmissionGuard>,
 }
 
 impl HypervisorParams {
@@ -71,6 +80,9 @@ impl HypervisorParams {
             predefined: Vec::new(),
             max_table_len: 1 << 22,
             reclaim: None,
+            watchdog: None,
+            degradation: DegradationPolicy::default(),
+            admission_guard: None,
         }
     }
 
@@ -89,6 +101,25 @@ impl HypervisorParams {
     /// Enables P-channel slack reclamation.
     pub fn with_reclaim(mut self, reclaim: PchannelReclaim) -> Self {
         self.reclaim = Some(reclaim);
+        self
+    }
+
+    /// Enables the per-transaction watchdog (timeout + bounded retry with
+    /// exponential backoff; exhaustion triggers graceful degradation).
+    pub fn with_watchdog(mut self, policy: RetryPolicy) -> Self {
+        self.watchdog = Some(policy);
+        self
+    }
+
+    /// Tunes graceful degradation (recovery threshold).
+    pub fn with_degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.degradation = policy;
+        self
+    }
+
+    /// Enables submission flood control.
+    pub fn with_admission_guard(mut self, guard: AdmissionGuard) -> Self {
+        self.admission_guard = Some(guard);
         self
     }
 }
@@ -130,58 +161,71 @@ impl RtJob {
     }
 }
 
-/// Aggregate execution metrics.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct HvMetrics {
-    /// Run-time jobs completed before their deadlines.
-    pub completed: u64,
-    /// Run-time jobs that missed (expired in a pool or rejected on a full
-    /// pool).
-    pub missed: u64,
-    /// Jobs rejected due to pool overflow (also counted in `missed`).
-    pub rejected: u64,
-    /// Misses of *critical* jobs only (the success-ratio criterion).
-    pub critical_missed: u64,
-    /// Pre-defined jobs completed by the P-channel.
-    pub predefined_completed: u64,
-    /// Slots spent executing P-channel work.
-    pub pchannel_slots: u64,
-    /// Slots spent executing R-channel work.
-    pub rchannel_slots: u64,
-    /// Free slots left idle (no eligible work).
-    pub idle_slots: u64,
-    /// Response payload bytes produced (throughput numerator).
-    pub response_bytes: u64,
-    /// Response latency of completed run-time jobs, in slots.
-    pub latency: OnlineStats,
-    /// Task ids of the most recent misses (bounded diagnostic ring).
-    pub recent_missed_tasks: Vec<u64>,
+/// Operating mode of the hypervisor's graceful-degradation machine.
+///
+/// On persistent device failure (watchdog retry budget exhausted) the mode
+/// steps down one level at a time; after a configured run of healthy slots
+/// it steps back up. Every transition is counted in
+/// [`HvMetrics::mode_changes`] and traced as [`TraceKind::ModeChange`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum HvMode {
+    /// Full service: P-channel and R-channel both live.
+    #[default]
+    Normal,
+    /// Best-effort work is shed (from the pools and at admission); critical
+    /// run-time jobs still run.
+    Degraded,
+    /// Only the pre-defined σ\* table executes; all run-time submissions
+    /// are refused.
+    PchannelOnly,
 }
 
-/// Capacity of the recent-miss diagnostic ring.
-const MISS_RING: usize = 64;
-
-impl HvMetrics {
-    fn note_miss(&mut self, task_id: u64, critical: bool) {
-        self.missed += 1;
-        self.critical_missed += u64::from(critical);
-        if self.recent_missed_tasks.len() == MISS_RING {
-            self.recent_missed_tasks.remove(0);
+impl HvMode {
+    /// Stable ordinal carried in the `task` field of mode-change traces.
+    pub const fn ordinal(self) -> u32 {
+        match self {
+            HvMode::Normal => 0,
+            HvMode::Degraded => 1,
+            HvMode::PchannelOnly => 2,
         }
-        self.recent_missed_tasks.push(task_id);
     }
+}
 
-    /// Total slots observed.
-    pub fn total_slots(&self) -> u64 {
-        self.pchannel_slots
-            .saturating_add(self.rchannel_slots)
-            .saturating_add(self.idle_slots)
-    }
+/// Graceful-degradation tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationPolicy {
+    /// Consecutive healthy slots before the mode steps back up one level.
+    pub healthy_slots_to_recover: u64,
+}
 
-    /// True when no run-time job has missed.
-    pub fn no_misses(&self) -> bool {
-        self.missed == 0
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        Self {
+            healthy_slots_to_recover: 64,
+        }
     }
+}
+
+/// Flood control at the para-virtualized driver boundary: a VM submitting
+/// more than `max_submissions` jobs inside a `window`-slot window is cut
+/// off for `throttle_slots` slots (babbling-idiot countermeasure) — both
+/// at admission and in the G-Sched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionGuard {
+    /// Window length, in slots.
+    pub window: u64,
+    /// Submissions accepted per VM per window.
+    pub max_submissions: u64,
+    /// Penalty window once tripped, in slots.
+    pub throttle_slots: u64,
+}
+
+/// Per-VM flood-control state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct AdmState {
+    window_start: u64,
+    count: u64,
+    throttled_until: u64,
 }
 
 /// The I/O-GUARD hypervisor device model.
@@ -206,6 +250,23 @@ pub struct Hypervisor {
     /// (vm, task_id) of the job that ran in the previous R-channel slot —
     /// used to detect preemptions for the trace.
     last_dispatched: Option<(usize, u64)>,
+    /// Current operating mode of the degradation machine.
+    mode: HvMode,
+    /// Per-transaction watchdog (None: faults burn slots silently).
+    watchdog: Option<Watchdog>,
+    /// Degradation tuning.
+    degradation: DegradationPolicy,
+    /// Flood control configuration and per-VM state.
+    admission: Option<AdmissionGuard>,
+    adm_state: Vec<AdmState>,
+    /// Device stalled while `now < device_stall_until` (transient fault).
+    device_stall_until: u64,
+    /// Controller stuck until explicitly cleared (persistent fault).
+    device_stuck: bool,
+    /// Edge detector for Fault/Recovery trace events.
+    device_fault_active: bool,
+    /// Consecutive healthy slots (drives mode recovery).
+    healthy_slots: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -251,10 +312,19 @@ impl Hypervisor {
                 reason: "pool capacity must be positive".into(),
             });
         }
-        if let GschedPolicy::ServerBased(servers) = &params.policy {
+        if let GschedPolicy::ServerBased(servers) | GschedPolicy::GuardedEdf(servers) =
+            &params.policy
+        {
             if servers.len() != params.vms {
                 return Err(HvError::InvalidConfig {
                     reason: format!("{} servers for {} VMs", servers.len(), params.vms),
+                });
+            }
+        }
+        if let Some(guard) = &params.admission_guard {
+            if guard.window == 0 || guard.max_submissions == 0 {
+                return Err(HvError::InvalidConfig {
+                    reason: "admission guard window and max_submissions must be positive".into(),
                 });
             }
         }
@@ -269,11 +339,20 @@ impl Hypervisor {
             pchannel,
             gsched: Gsched::new(params.policy),
             now: 0,
-            metrics: HvMetrics::default(),
+            metrics: HvMetrics::with_vms(params.vms),
             reclaim: params.reclaim,
             pjob_state,
             trace: TraceBuffer::disabled(),
             last_dispatched: None,
+            mode: HvMode::Normal,
+            watchdog: params.watchdog.map(Watchdog::new),
+            degradation: params.degradation,
+            admission: params.admission_guard,
+            adm_state: vec![AdmState::default(); params.vms],
+            device_stall_until: 0,
+            device_stuck: false,
+            device_fault_active: false,
+            healthy_slots: 0,
         })
     }
 
@@ -314,6 +393,73 @@ impl Hypervisor {
         self.pools.len()
     }
 
+    /// Current operating mode of the degradation machine.
+    pub fn mode(&self) -> HvMode {
+        self.mode
+    }
+
+    /// Injects a transient device fault: I/O transactions stall for the
+    /// next `slots` slots (extends any stall already in effect).
+    pub fn inject_device_stall(&mut self, slots: u64) {
+        self.device_stall_until = self.device_stall_until.max(self.now.saturating_add(slots));
+    }
+
+    /// Sets or clears the stuck-controller fault (persists until cleared).
+    pub fn set_device_stuck(&mut self, stuck: bool) {
+        self.device_stuck = stuck;
+    }
+
+    /// True while a device fault (stall window or stuck controller) is in
+    /// effect at the current slot.
+    pub fn device_faulty(&self) -> bool {
+        self.device_stuck || self.now < self.device_stall_until
+    }
+
+    /// Clears all injected device faults.
+    pub fn clear_device_faults(&mut self) {
+        self.device_stuck = false;
+        self.device_stall_until = 0;
+    }
+
+    /// Steps the mode machine one level down (towards P-channel-only).
+    /// Entering [`HvMode::Degraded`] sheds best-effort work from every
+    /// pool. Called on watchdog exhaustion; public so NoC-level fault
+    /// drivers can escalate too.
+    pub fn degrade(&mut self) {
+        let next = match self.mode {
+            HvMode::Normal => HvMode::Degraded,
+            HvMode::Degraded => HvMode::PchannelOnly,
+            HvMode::PchannelOnly => return,
+        };
+        self.set_mode(next);
+        if next == HvMode::Degraded {
+            for vm in 0..self.pools.len() {
+                let shed = self.pools[vm].shed_best_effort();
+                if !shed.is_empty() {
+                    self.metrics.note_shed(vm, shed.len() as u64);
+                    self.sync_shadow(vm);
+                }
+            }
+        }
+    }
+
+    /// Records a mode transition (trace + counter) and resets the recovery
+    /// clock.
+    fn set_mode(&mut self, next: HvMode) {
+        if next == self.mode {
+            return;
+        }
+        self.mode = next;
+        self.metrics.mode_changes += 1;
+        self.healthy_slots = 0;
+        self.trace.record(
+            Slots::new(self.now),
+            TraceKind::ModeChange,
+            u32::MAX,
+            next.ordinal(),
+        );
+    }
+
     /// Refreshes the comparator-tree leaf of VM `vm` from its pool's shadow
     /// register. Must follow every pool mutation.
     #[inline]
@@ -326,10 +472,52 @@ impl Hypervisor {
     /// # Errors
     ///
     /// * [`HvError::UnknownVm`] for an out-of-range VM.
+    /// * [`HvError::Throttled`] while flood control has the VM cut off.
+    /// * [`HvError::DegradedMode`] for work the current operating mode
+    ///   refuses (best-effort when degraded; everything in P-channel-only).
     /// * [`HvError::PoolFull`] when the pool rejects the job; the job is
     ///   accounted as missed (the hardware cannot buffer it).
     pub fn submit(&mut self, job: RtJob) -> Result<(), HvError> {
         self.submit_with_payload(job, 64)
+    }
+
+    /// Charges one submission of VM `vm` against flood control.
+    fn admission_check(&mut self, vm: usize) -> Result<(), HvError> {
+        let Some(guard) = self.admission else {
+            return Ok(());
+        };
+        let now = self.now;
+        let Some(st) = self.adm_state.get_mut(vm) else {
+            return Ok(());
+        };
+        if now < st.throttled_until {
+            let until = st.throttled_until;
+            self.metrics.note_throttled_submission(vm);
+            return Err(HvError::Throttled { vm, until });
+        }
+        if now >= st.window_start.saturating_add(guard.window) {
+            let elapsed = now - st.window_start;
+            st.window_start = now - (elapsed % guard.window);
+            st.count = 0;
+        }
+        st.count += 1;
+        if st.count > guard.max_submissions {
+            let until = now.saturating_add(guard.throttle_slots);
+            st.throttled_until = until;
+            st.count = 0;
+            // The penalty also closes the G-Sched on this VM: a babbling
+            // idiot neither submits nor steals free slots.
+            self.gsched.throttle(vm, until);
+            self.metrics.note_throttled_submission(vm);
+            self.trace.record(
+                Slots::new(now),
+                TraceKind::Throttle,
+                trace_id(vm as u64),
+                trace_id(until),
+            );
+            return Err(HvError::Throttled { vm, until });
+        }
+        Ok(())
     }
 
     /// Submits a job with an explicit response payload size (throughput
@@ -340,13 +528,34 @@ impl Hypervisor {
     /// See [`Hypervisor::submit`].
     pub fn submit_with_payload(&mut self, job: RtJob, response_bytes: u32) -> Result<(), HvError> {
         let vms = self.pools.len();
-        let Some(pool) = self.pools.get_mut(job.vm) else {
+        if job.vm >= vms {
             return Err(HvError::UnknownVm { vm: job.vm, vms });
-        };
+        }
+        self.admission_check(job.vm)?;
+        match self.mode {
+            HvMode::Normal => {}
+            HvMode::Degraded if job.critical => {}
+            HvMode::Degraded => {
+                // Degraded mode sheds best-effort work at admission.
+                self.metrics.note_shed(job.vm, 1);
+                return Err(HvError::DegradedMode);
+            }
+            HvMode::PchannelOnly => {
+                // The R-channel is down: a refused critical job is a miss.
+                if job.critical {
+                    self.metrics.note_miss(job.vm, job.task_id, true);
+                } else {
+                    self.metrics.note_shed(job.vm, 1);
+                }
+                return Err(HvError::DegradedMode);
+            }
+        }
+        let pool = &mut self.pools[job.vm];
         // The hardware sweep is continuous: expired entries free their
         // queue slots before a new job needs one.
         for missed in pool.expire(self.now) {
-            self.metrics.note_miss(missed.task_id, missed.critical);
+            self.metrics
+                .note_miss(job.vm, missed.task_id, missed.critical);
         }
         let entry = PoolEntry {
             task_id: job.task_id,
@@ -369,7 +578,7 @@ impl Hypervisor {
             Err(_) => {
                 let capacity = pool.capacity();
                 self.metrics.rejected += 1;
-                self.metrics.note_miss(job.task_id, job.critical);
+                self.metrics.note_miss(job.vm, job.task_id, job.critical);
                 self.trace.record(
                     Slots::new(self.now),
                     TraceKind::DeadlineMiss,
@@ -398,7 +607,7 @@ impl Hypervisor {
                 continue;
             }
             for missed in missed {
-                self.metrics.note_miss(missed.task_id, missed.critical);
+                self.metrics.note_miss(vm, missed.task_id, missed.critical);
                 self.trace.record(
                     Slots::new(now),
                     TraceKind::DeadlineMiss,
@@ -410,6 +619,35 @@ impl Hypervisor {
         }
         // 2. Server replenishment.
         self.gsched.tick(now);
+        // 2b. Device health: trace fault/recovery edges and advance the
+        //     mode-recovery clock on healthy slots.
+        let device_ok = !self.device_faulty();
+        if !device_ok && !self.device_fault_active {
+            self.device_fault_active = true;
+            self.trace
+                .record(Slots::new(now), TraceKind::Fault, u32::MAX, 0);
+        } else if device_ok && self.device_fault_active {
+            self.device_fault_active = false;
+            if let Some(wd) = &mut self.watchdog {
+                wd.note_progress();
+            }
+            self.trace
+                .record(Slots::new(now), TraceKind::Recovery, u32::MAX, 0);
+        }
+        if device_ok {
+            self.healthy_slots = self.healthy_slots.saturating_add(1);
+            if self.mode != HvMode::Normal
+                && self.healthy_slots >= self.degradation.healthy_slots_to_recover
+            {
+                let up = match self.mode {
+                    HvMode::PchannelOnly => HvMode::Degraded,
+                    _ => HvMode::Normal,
+                };
+                self.set_mode(up);
+            }
+        } else {
+            self.healthy_slots = 0;
+        }
         // 3. P-channel owns occupied slots — unless slack reclamation is on
         //    and the pre-defined job already finished early, releasing its
         //    residual reservation to the R-channel.
@@ -462,16 +700,52 @@ impl Hypervisor {
                     trace_id(self.pchannel.tasks()[owner.task_index].task_id),
                 );
             }
+        } else if self.mode == HvMode::PchannelOnly {
+            // Degraded slot table: only σ\* executes, the R-channel is off.
+            self.metrics.idle_slots += 1;
+        } else if self.watchdog.as_ref().is_some_and(|wd| wd.in_backoff(now)) {
+            // The watchdog's exponential-backoff window keeps the executor
+            // off the (possibly still faulty) device.
+            self.metrics.backoff_slots += 1;
         } else {
             // 4. Free (or reclaimed) slot: G-Sched grants one pool, reading
             //    the winner off the comparator tree. A grant whose pool has
             //    no shadow entry would be a scheduler bug; the slot then
             //    idles instead of bringing the model down.
+            if self.gsched.has_guards() {
+                // Slot-denial accounting: VMs with buffered work that
+                // budget enforcement or a throttle window holds back.
+                for (vm, pool) in self.pools.iter().enumerate() {
+                    if !pool.is_empty() && self.gsched.is_blocked(vm) {
+                        self.metrics.note_throttled_slot(vm);
+                    }
+                }
+            }
             let granted = self
                 .gsched
                 .grant_indexed(&self.pools, &self.shadow_index)
                 .and_then(|vm| self.pools[vm].shadow().map(|e| (vm, e.task_id)));
             match granted {
+                Some((vm, _)) if !device_ok => {
+                    // The slot was granted but the device made no progress:
+                    // the watchdog counts it toward its timeout.
+                    self.metrics.stalled_slots += 1;
+                    if let Some(wd) = &mut self.watchdog {
+                        match wd.note_stall(now) {
+                            WatchdogVerdict::Armed => {}
+                            WatchdogVerdict::Retry { attempt, .. } => {
+                                self.metrics.note_retry(vm);
+                                self.trace.record(
+                                    Slots::new(now),
+                                    TraceKind::Retry,
+                                    trace_id(vm as u64),
+                                    attempt,
+                                );
+                            }
+                            WatchdogVerdict::Exhausted => self.degrade(),
+                        }
+                    }
+                }
                 Some(running) => {
                     let vm = running.0;
                     self.metrics.rchannel_slots += 1;
@@ -508,13 +782,18 @@ impl Hypervisor {
                         }
                     }
                     self.last_dispatched = Some(running);
+                    if let Some(wd) = &mut self.watchdog {
+                        // Progress on the device closes any stall episode
+                        // (the Recovery trace edge is emitted in step 2b).
+                        wd.note_progress();
+                    }
                     if let Ok(Some(done)) = self.pools[vm].execute_slot() {
                         // Completion moved the shadow register; a mere
                         // budget decrement leaves the key untouched. (The
                         // Err arm is unreachable — the shadow register was
                         // read non-empty on this same slot.)
                         self.sync_shadow(vm);
-                        self.metrics.completed += 1;
+                        self.metrics.note_completion(vm);
                         self.metrics.response_bytes += done.response_bytes as u64;
                         self.metrics
                             .latency
@@ -775,6 +1054,153 @@ mod tests {
         fresh.submit(RtJob::new(0, 1, 0, 1, 5)).unwrap();
         fresh.run(3);
         assert!(fresh.trace().is_empty());
+    }
+
+    #[test]
+    fn watchdog_retries_then_degrades_and_recovers() {
+        use crate::driver::RetryPolicy;
+        let params = HypervisorParams::new(1)
+            .with_watchdog(RetryPolicy {
+                timeout_slots: 2,
+                max_retries: 2,
+                backoff_base: 1,
+                backoff_cap: 2,
+            })
+            .with_degradation(DegradationPolicy {
+                healthy_slots_to_recover: 8,
+            });
+        let mut hv = Hypervisor::new(params).unwrap();
+        hv.enable_trace(256);
+        hv.submit(RtJob::new(0, 1, 0, 2, 1_000)).unwrap();
+        hv.inject_device_stall(50);
+        hv.run(50);
+        // One exhaustion cycle → Degraded; the fault persists, so a second
+        // cycle escalates to the P-channel-only fallback table.
+        assert_eq!(hv.mode(), HvMode::PchannelOnly);
+        let m = hv.metrics().clone();
+        assert!(m.stalled_slots > 0, "{m:?}");
+        assert!(m.backoff_slots > 0, "{m:?}");
+        assert_eq!(m.retries, 4, "2 bounded retries per cycle: {m:?}");
+        assert_eq!(m.vm(0).retries, 4);
+        assert_eq!(m.mode_changes, 2);
+        let trace = hv.trace();
+        assert_eq!(trace.of_kind(TraceKind::Fault).count(), 1);
+        assert_eq!(trace.of_kind(TraceKind::Retry).count(), 4);
+        assert_eq!(trace.of_kind(TraceKind::ModeChange).count(), 2);
+        // Fault clears at slot 50: the job completes, and after the healthy
+        // run the mode steps back to Normal.
+        hv.run(20);
+        assert_eq!(hv.mode(), HvMode::Normal);
+        assert_eq!(hv.metrics().completed, 1);
+        assert!(hv.trace().of_kind(TraceKind::Recovery).count() >= 1);
+        let normal_ordinal = HvMode::Normal.ordinal();
+        assert!(hv
+            .trace()
+            .of_kind(TraceKind::ModeChange)
+            .any(|e| e.task == normal_ordinal));
+    }
+
+    #[test]
+    fn degraded_mode_sheds_best_effort_keeps_critical() {
+        let mut hv = Hypervisor::new(HypervisorParams::new(1)).unwrap();
+        hv.submit(RtJob::new(0, 1, 0, 2, 100)).unwrap();
+        hv.submit(RtJob::new(0, 2, 0, 2, 100).best_effort())
+            .unwrap();
+        hv.degrade();
+        assert_eq!(hv.mode(), HvMode::Degraded);
+        assert_eq!(hv.metrics().dropped_best_effort, 1);
+        assert_eq!(hv.metrics().vm(0).dropped_best_effort, 1);
+        // New best-effort work is refused at admission; critical accepted.
+        assert_eq!(
+            hv.submit(RtJob::new(0, 3, 0, 1, 100).best_effort()),
+            Err(HvError::DegradedMode)
+        );
+        hv.submit(RtJob::new(0, 4, 0, 1, 100)).unwrap();
+        hv.run(10);
+        assert_eq!(hv.metrics().completed, 2);
+        assert!(hv.metrics().no_misses());
+    }
+
+    #[test]
+    fn pchannel_only_mode_refuses_all_runtime_work() {
+        let params = HypervisorParams::new(1).with_predefined(vec![predefined(1, 2, 1)]);
+        let mut hv = Hypervisor::new(params).unwrap();
+        hv.degrade();
+        hv.degrade();
+        assert_eq!(hv.mode(), HvMode::PchannelOnly);
+        assert_eq!(
+            hv.submit(RtJob::new(0, 1, 0, 1, 100)),
+            Err(HvError::DegradedMode)
+        );
+        assert_eq!(hv.metrics().missed, 1, "refused critical job is a miss");
+        hv.run(4);
+        // σ* still fires; no R-channel slots are granted.
+        assert_eq!(hv.metrics().predefined_completed, 2);
+        assert_eq!(hv.metrics().rchannel_slots, 0);
+    }
+
+    #[test]
+    fn admission_guard_throttles_babbling_vm() {
+        let params = HypervisorParams::new(2).with_admission_guard(AdmissionGuard {
+            window: 10,
+            max_submissions: 3,
+            throttle_slots: 20,
+        });
+        let mut hv = Hypervisor::new(params).unwrap();
+        hv.enable_trace(64);
+        for k in 0..3 {
+            hv.submit(RtJob::new(0, k, 0, 1, 100)).unwrap();
+        }
+        // Fourth submission in the window trips flood control.
+        let err = hv.submit(RtJob::new(0, 3, 0, 1, 100)).unwrap_err();
+        assert!(matches!(err, HvError::Throttled { vm: 0, .. }), "{err}");
+        assert!(matches!(
+            hv.submit(RtJob::new(0, 4, 0, 1, 100)),
+            Err(HvError::Throttled { .. })
+        ));
+        assert_eq!(hv.metrics().vm(0).throttled_submissions, 2);
+        assert_eq!(hv.trace().of_kind(TraceKind::Throttle).count(), 1);
+        // The other VM is unaffected, now and throughout the penalty.
+        hv.submit(RtJob::new(1, 10, 0, 1, 100)).unwrap();
+        hv.run(25);
+        assert!(hv.metrics().no_misses_for(1));
+        // Penalty expired: VM 0 submits again (fresh window).
+        let t = hv.now();
+        hv.submit(RtJob::new(0, 5, t, 1, t + 50)).unwrap();
+        hv.run(5);
+        assert_eq!(hv.metrics().completed, 5);
+    }
+
+    #[test]
+    fn throttled_vm_denied_slots_but_others_progress() {
+        let params = HypervisorParams::new(2).with_admission_guard(AdmissionGuard {
+            window: 100,
+            max_submissions: 2,
+            throttle_slots: 50,
+        });
+        let mut hv = Hypervisor::new(params).unwrap();
+        // VM 0 fills its allowance with long tight-deadline work, then
+        // trips the guard; its buffered jobs must not crowd out VM 1.
+        hv.submit(RtJob::new(0, 1, 0, 30, 40)).unwrap();
+        hv.submit(RtJob::new(0, 2, 0, 30, 40)).unwrap();
+        let _ = hv.submit(RtJob::new(0, 3, 0, 30, 40));
+        hv.submit(RtJob::new(1, 10, 0, 5, 60)).unwrap();
+        hv.run(20);
+        // VM 0 is scheduler-throttled: its EDF-earliest jobs get nothing.
+        assert!(hv.metrics().vm(0).throttled_slots > 0);
+        assert_eq!(hv.metrics().completed, 1, "vm 1 completed despite edf");
+        assert!(hv.metrics().no_misses_for(1));
+    }
+
+    #[test]
+    fn guarded_edf_policy_validates_server_count() {
+        let bad = HypervisorParams::new(2).with_policy(GschedPolicy::GuardedEdf(vec![
+            PeriodicServer::new(4, 1).unwrap(),
+        ]));
+        assert!(matches!(
+            Hypervisor::new(bad),
+            Err(HvError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -18,8 +18,12 @@
 //!   the shadow registers with: O(1) winner at the root, O(log V) refresh
 //!   per pool mutation.
 //! * [`driver`] — the **virtualization driver**: request/response
-//!   translators with bounded per-operation latency and standardized I/O
-//!   controller models (SPI, I²C, Ethernet, FlexRay) with real bandwidths.
+//!   translators with bounded per-operation latency, standardized I/O
+//!   controller models (SPI, I²C, Ethernet, FlexRay) with real bandwidths,
+//!   and the per-transaction **watchdog** (timeout, bounded retry with
+//!   exponential backoff).
+//! * [`metrics`] — global and **per-VM** execution counters, including the
+//!   fault-handling accounting (stalls, retries, throttles, shed jobs).
 //! * [`hypervisor`] — the assembled device: `step()` advances one slot,
 //!   P-channel entries preempt everything (their slots are theirs by
 //!   construction), R-channel jobs run preemptively at slot granularity.
@@ -46,6 +50,7 @@ pub mod driver;
 pub mod error;
 pub mod gsched;
 pub mod hypervisor;
+pub mod metrics;
 pub mod pchannel;
 pub mod pool;
 pub mod shadowindex;
@@ -53,4 +58,5 @@ pub mod system;
 
 pub use error::HvError;
 pub use hypervisor::{Hypervisor, HypervisorParams, RtJob};
+pub use metrics::{HvMetrics, VmMetrics};
 pub use system::{IoDeviceConfig, MultiIoSystem, Transfer};

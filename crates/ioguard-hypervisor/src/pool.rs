@@ -201,6 +201,28 @@ impl IoPool {
     pub fn iter(&self) -> std::slice::Iter<'_, PoolEntry> {
         self.entries.iter()
     }
+
+    /// Removes and returns every non-critical entry (graceful degradation
+    /// sheds best-effort work first). The shadow register is repaired once
+    /// at the end; critical entries keep their relative state.
+    pub fn shed_best_effort(&mut self) -> Vec<PoolEntry> {
+        let mut shed = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].critical {
+                i += 1;
+            } else {
+                shed.push(self.entries.swap_remove(i));
+            }
+        }
+        self.shadow_idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| shadow_key(e))
+            .map(|(i, _)| i);
+        shed
+    }
 }
 
 #[cfg(test)]
@@ -318,5 +340,31 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = IoPool::new(0);
+    }
+
+    #[test]
+    fn shed_best_effort_keeps_critical_and_repairs_shadow() {
+        let mut p = IoPool::new(8);
+        p.insert(entry(1, 10, 1)).unwrap(); // critical
+        p.insert(PoolEntry {
+            critical: false,
+            ..entry(2, 5, 1)
+        })
+        .unwrap();
+        p.insert(PoolEntry {
+            critical: false,
+            ..entry(3, 7, 1)
+        })
+        .unwrap();
+        p.insert(entry(4, 20, 1)).unwrap(); // critical
+                                            // Best-effort task 2 currently owns the shadow register.
+        assert_eq!(p.shadow().unwrap().task_id, 2);
+        let shed = p.shed_best_effort();
+        let mut ids: Vec<u64> = shed.iter().map(|e| e.task_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.shadow().unwrap().task_id, 1, "shadow repaired");
+        assert!(p.shed_best_effort().is_empty(), "idempotent");
     }
 }

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use ioguard_hypervisor::error::HvError;
 use ioguard_hypervisor::gsched::GschedPolicy;
 use ioguard_hypervisor::hypervisor::{Hypervisor, HypervisorParams, PchannelReclaim, RtJob};
 use ioguard_hypervisor::pchannel::{PChannel, PredefinedTask};
@@ -253,6 +254,77 @@ proptest! {
         prop_assert_eq!(hv.metrics().total_slots(), periods * h);
         // Reclamation can only donate slots, never consume extra.
         prop_assert!(hv.metrics().pchannel_slots <= periods * (h - probe.table().free_slots()));
+    }
+
+    /// Fault-interleaving safety: arbitrary submit/step sequences — pool
+    /// overflow storms, empty-pool slots, unknown VMs, device stalls and
+    /// clears — never panic, never overfill a pool, and never lose a job
+    /// from the accounting (admitted = completed + missed + in flight).
+    #[test]
+    fn fault_interleavings_never_panic_or_overfill(
+        ops in prop::collection::vec((0u8..8, 0u64..5, 1u64..40), 1..120),
+    ) {
+        let capacity = 4;
+        let params = HypervisorParams {
+            pool_capacity: capacity,
+            ..HypervisorParams::new(2)
+        }
+        .with_policy(GschedPolicy::GuardedEdf(vec![
+            PeriodicServer::new(8, 4).expect("valid");
+            2
+        ]))
+        .with_watchdog(ioguard_hypervisor::driver::RetryPolicy {
+            timeout_slots: 2,
+            max_retries: 2,
+            backoff_base: 1,
+            backoff_cap: 4,
+        })
+        .with_admission_guard(ioguard_hypervisor::hypervisor::AdmissionGuard {
+            window: 8,
+            max_submissions: 6,
+            throttle_slots: 8,
+        });
+        let mut hv = Hypervisor::new(params).expect("valid");
+        let mut next_id = 0u64;
+        let mut admitted = 0u64;
+        let mut refused_missed = 0u64;
+        for (op, vm, span) in ops {
+            match op {
+                // Submissions: vm 0/1 are real, larger indices malformed;
+                // tight spans produce immediate-miss deadlines, wide spans
+                // normal jobs. Errors (PoolFull, Throttled, UnknownVm,
+                // DegradedMode) are the faults under test.
+                0..=3 => {
+                    next_id += 1;
+                    let release = hv.now();
+                    let job = RtJob::new(vm as usize, next_id, release, 1 + span % 3, release + span);
+                    match hv.submit(job) {
+                        Ok(()) => admitted += 1,
+                        // These two refusal paths count the (critical) job
+                        // as missed; throttles and unknown VMs do not.
+                        Err(HvError::PoolFull { .. }) | Err(HvError::DegradedMode) => {
+                            refused_missed += 1;
+                        }
+                        Err(_) => {}
+                    }
+                }
+                4..=5 => hv.run(span % 6),
+                6 => hv.inject_device_stall(span),
+                _ => hv.clear_device_faults(),
+            }
+            for pool in hv.pools() {
+                prop_assert!(pool.len() <= capacity, "pool over capacity");
+            }
+        }
+        // Drain with the device healthy: every admitted job must end up
+        // accounted as completed or missed, never vanish.
+        hv.clear_device_faults();
+        hv.run(600);
+        let m = hv.metrics();
+        let in_flight: u64 = hv.pools().iter().map(|p| p.len() as u64).sum();
+        prop_assert_eq!(in_flight, 0, "600 healthy slots drain capacity-4 backlogs");
+        prop_assert_eq!(m.completed + m.missed, admitted + refused_missed,
+            "every admitted or miss-counted job is conserved");
     }
 
     /// Server-based G-Sched never grants a VM more than its budget within

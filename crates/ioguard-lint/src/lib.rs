@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faultplan;
 pub mod fig7;
 pub mod model;
 pub mod rules;
@@ -36,6 +37,9 @@ use scan::SourceFile;
 
 /// File extension of model files.
 pub const MODEL_EXT: &str = "model";
+
+/// File extension of chaos fault-plan fixtures.
+pub const FAULT_EXT: &str = "fault";
 
 /// Lints every workspace crate under `root/crates` with its crate-scoped
 /// rule set, including the `#![forbid(unsafe_code)]` crate-root check.
@@ -82,7 +86,8 @@ pub fn check_fig7() -> Result<Vec<Violation>, String> {
 }
 
 /// Checks explicit paths (fixture mode): `.rs` files get every source rule
-/// regardless of crate scope, `.model` files are parsed and verified.
+/// regardless of crate scope, `.model` files are parsed and verified, and
+/// `.fault` chaos fixtures go through the fault-plan verifier.
 pub fn check_paths(paths: &[&Path]) -> Result<Vec<Violation>, String> {
     let mut violations = Vec::new();
     for path in paths {
@@ -95,9 +100,12 @@ pub fn check_paths(paths: &[&Path]) -> Result<Vec<Violation>, String> {
                 Ok(model) => violations.extend(ConfigVerifier::verify(&model)),
                 Err(v) => violations.push(v),
             },
+            Some(ext) if ext == FAULT_EXT => {
+                faultplan::check_fault_file(path, &mut violations)?;
+            }
             _ => {
                 return Err(format!(
-                    "{}: expected a .rs or .{MODEL_EXT} file",
+                    "{}: expected a .rs, .{MODEL_EXT} or .{FAULT_EXT} file",
                     path.display()
                 ))
             }

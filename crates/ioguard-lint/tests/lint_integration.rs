@@ -4,6 +4,7 @@
 
 use std::path::{Path, PathBuf};
 
+use ioguard_lint::faultplan::fault_rule;
 use ioguard_lint::model::model_rule;
 use ioguard_lint::rules::rule;
 use ioguard_lint::{check_fig7, check_paths, check_workspace};
@@ -86,6 +87,28 @@ fn good_model_fixture_passes() {
     let path = fixture("good.model");
     let violations = check_paths(&[path.as_path()]).expect("fixture readable");
     assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn good_fault_plan_fixture_passes() {
+    let path = fixture("good.fault");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn seeded_bad_fault_plan_is_rejected() {
+    let path = fixture("bad_plan.fault");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    for expected in [
+        fault_rule::RATE,
+        fault_rule::RETRY,
+        fault_rule::POSITIVE,
+        fault_rule::PARSE,
+    ] {
+        assert!(rules.contains(&expected), "missing {expected}: {rules:?}");
+    }
 }
 
 #[test]

@@ -35,6 +35,11 @@ pub enum NocError {
         /// The node whose queue is full.
         node: NodeId,
     },
+    /// A fault operation named a packet that is not in flight.
+    UnknownPacket {
+        /// The offending packet id.
+        id: u64,
+    },
 }
 
 impl fmt::Display for NocError {
@@ -51,6 +56,9 @@ impl fmt::Display for NocError {
             NocError::EmptyPacket { id } => write!(f, "packet {id} has no payload flits"),
             NocError::InjectionQueueFull { node } => {
                 write!(f, "injection queue full at node {node}")
+            }
+            NocError::UnknownPacket { id } => {
+                write!(f, "packet {id} is not in flight")
             }
         }
     }
@@ -83,6 +91,9 @@ mod tests {
         }
         .to_string()
         .contains("full"));
+        assert!(NocError::UnknownPacket { id: 42 }
+            .to_string()
+            .contains("42"));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 // mesh.nodes() (or the fixed 5 ports) at construction and every index comes
 // from mesh.index_of or a 0..len enumeration.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
@@ -26,7 +26,7 @@ use crate::arbiter::ArbiterKind;
 use crate::error::NocError;
 use crate::packet::{Flit, Packet};
 use crate::router::Router;
-use crate::topology::{Direction, Mesh};
+use crate::topology::{Direction, Mesh, NodeId};
 
 /// Configuration of a mesh network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,6 +77,10 @@ pub struct Delivery {
     pub injected_at: Cycles,
     /// Cycle at which the tail flit was ejected.
     pub delivered_at: Cycles,
+    /// True when the payload failed its end-to-end check (an injected
+    /// corruption fault): the packet arrived but its contents are garbage,
+    /// and the receiver must treat it as lost.
+    pub corrupted: bool,
 }
 
 impl Delivery {
@@ -95,6 +99,10 @@ pub struct NetworkStats {
     pub flit_hops: u64,
     /// Total contention cycles summed over routers.
     pub contention_cycles: u64,
+    /// Packets discarded at ejection (drop faults — the CRC-fail model).
+    pub dropped: u64,
+    /// Packets delivered with the corruption flag set.
+    pub corrupted: u64,
 }
 
 #[derive(Debug)]
@@ -119,6 +127,14 @@ pub struct Network {
     class_aware: bool,
     now: Cycles,
     stats: NetworkStats,
+    /// Failed unidirectional links as (router index, output direction
+    /// index): planned moves across them are blocked like backpressure, so
+    /// wormhole locks stay consistent while the link is down.
+    failed_links: BTreeSet<(usize, usize)>,
+    /// Packet ids to discard at ejection (CRC-fail model).
+    drop_marked: BTreeSet<u64>,
+    /// Packet ids to deliver with the corruption flag set.
+    corrupt_marked: BTreeSet<u64>,
 }
 
 impl Network {
@@ -151,7 +167,81 @@ impl Network {
             class_aware: config.class_aware,
             now: Cycles::ZERO,
             stats: NetworkStats::default(),
+            failed_links: BTreeSet::new(),
+            drop_marked: BTreeSet::new(),
+            corrupt_marked: BTreeSet::new(),
         })
+    }
+
+    /// Fails the outgoing link of `node` towards `out`: traffic planned
+    /// across it stalls (counted as contention) until the link is restored.
+    /// Wormhole locks are preserved, so traffic resumes cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] if `node` is outside the mesh.
+    pub fn fail_link(&mut self, node: NodeId, out: Direction) -> Result<(), NocError> {
+        let idx = self.checked_index(node)?;
+        self.failed_links.insert((idx, out.index()));
+        Ok(())
+    }
+
+    /// Restores a previously failed link (no-op if it was not failed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] if `node` is outside the mesh.
+    pub fn restore_link(&mut self, node: NodeId, out: Direction) -> Result<(), NocError> {
+        let idx = self.checked_index(node)?;
+        self.failed_links.remove(&(idx, out.index()));
+        Ok(())
+    }
+
+    /// Number of currently failed links.
+    pub fn failed_link_count(&self) -> usize {
+        self.failed_links.len()
+    }
+
+    /// Marks an in-flight packet to be discarded at ejection — the model of
+    /// a payload that fails its CRC at the destination NI. The packet still
+    /// traverses the fabric (burning real bandwidth) but never surfaces as
+    /// a delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::UnknownPacket`] if `id` is not in flight.
+    pub fn drop_packet(&mut self, id: u64) -> Result<(), NocError> {
+        if !self.in_flight.contains_key(&id) {
+            return Err(NocError::UnknownPacket { id });
+        }
+        self.drop_marked.insert(id);
+        Ok(())
+    }
+
+    /// Marks an in-flight packet to arrive with its corruption flag set
+    /// ([`Delivery::corrupted`]). The receiver sees the packet but must
+    /// treat the payload as garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::UnknownPacket`] if `id` is not in flight.
+    pub fn corrupt_packet(&mut self, id: u64) -> Result<(), NocError> {
+        if !self.in_flight.contains_key(&id) {
+            return Err(NocError::UnknownPacket { id });
+        }
+        self.corrupt_marked.insert(id);
+        Ok(())
+    }
+
+    fn checked_index(&self, node: NodeId) -> Result<usize, NocError> {
+        if !self.mesh.contains(node) {
+            return Err(NocError::NodeOutOfRange {
+                node,
+                width: self.mesh.width(),
+                height: self.mesh.height(),
+            });
+        }
+        Ok(self.mesh.index_of(node))
     }
 
     /// The mesh geometry.
@@ -262,6 +352,13 @@ impl Network {
                     }
                 };
                 let Some(input) = granted_input else { continue };
+                // A failed link blocks its traffic exactly like exhausted
+                // downstream credit — flits wait upstream, locks persist.
+                if !self.failed_links.is_empty() && self.failed_links.contains(&(idx, out.index()))
+                {
+                    self.routers[idx].note_contention();
+                    continue;
+                }
                 // Backpressure: the downstream buffer must have space.
                 let has_space = match self.mesh.neighbor(here, out) {
                     Some(next) => {
@@ -334,11 +431,21 @@ impl Network {
                 let Some(done) = self.in_flight.remove(&flit.packet) else {
                     continue;
                 };
+                if self.drop_marked.remove(&flit.packet) {
+                    // CRC failure at the destination NI: the packet burned
+                    // fabric bandwidth but is discarded, not delivered.
+                    self.corrupt_marked.remove(&flit.packet);
+                    self.stats.dropped += 1;
+                    continue;
+                }
+                let corrupted = self.corrupt_marked.remove(&flit.packet);
                 self.stats.delivered += 1;
+                self.stats.corrupted += u64::from(corrupted);
                 let delivery = Delivery {
                     packet: done.packet,
                     injected_at: done.injected_at,
                     delivered_at: self.now,
+                    corrupted,
                 };
                 out.push(delivery.clone());
                 self.delivered.push(delivery);
@@ -627,6 +734,77 @@ mod tests {
         }
         let out = n.run_until_idle(100_000);
         assert_eq!(out.len(), 24, "no starvation under class QoS");
+    }
+
+    #[test]
+    fn failed_link_stalls_then_restores() {
+        let mut n = net(3, 1);
+        let src = NodeId::new(0, 0);
+        let dst = NodeId::new(2, 0);
+        n.inject(Packet::request(1, src, dst, 2).unwrap()).unwrap();
+        // XY routing goes east along row 0; cut the middle link.
+        n.fail_link(NodeId::new(1, 0), Direction::East).unwrap();
+        assert_eq!(n.failed_link_count(), 1);
+        for _ in 0..200 {
+            n.step();
+        }
+        assert_eq!(n.in_flight(), 1, "packet held upstream of the cut");
+        assert_eq!(n.stats().delivered, 0);
+        assert!(n.stats().contention_cycles > 0, "stall counted");
+        // Restore: traffic drains cleanly (wormhole locks intact).
+        n.restore_link(NodeId::new(1, 0), Direction::East).unwrap();
+        let out = n.run_until_idle(1000);
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].corrupted);
+    }
+
+    #[test]
+    fn link_fault_rejects_bad_node() {
+        let mut n = net(2, 2);
+        assert!(matches!(
+            n.fail_link(NodeId::new(9, 9), Direction::East),
+            Err(NocError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn dropped_packet_burns_bandwidth_but_never_delivers() {
+        let mut n = net(3, 3);
+        n.inject(Packet::request(1, NodeId::new(0, 0), NodeId::new(2, 2), 3).unwrap())
+            .unwrap();
+        n.inject(Packet::request(2, NodeId::new(2, 0), NodeId::new(0, 2), 3).unwrap())
+            .unwrap();
+        n.drop_packet(1).unwrap();
+        let out = n.run_until_idle(10_000);
+        assert_eq!(out.len(), 1, "only the healthy packet surfaces");
+        assert_eq!(out[0].packet.id(), 2);
+        assert_eq!(n.stats().dropped, 1);
+        assert_eq!(n.stats().delivered, 1);
+        assert_eq!(n.in_flight(), 0, "dropped packet left the fabric");
+        assert!(n.stats().flit_hops > 4, "the drop still burned hops");
+    }
+
+    #[test]
+    fn corrupted_packet_arrives_flagged() {
+        let mut n = net(3, 3);
+        n.inject(Packet::request(1, NodeId::new(0, 0), NodeId::new(2, 2), 3).unwrap())
+            .unwrap();
+        n.corrupt_packet(1).unwrap();
+        let out = n.run_until_idle(10_000);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].corrupted);
+        assert_eq!(n.stats().corrupted, 1);
+        assert_eq!(n.stats().delivered, 1);
+    }
+
+    #[test]
+    fn fault_marks_require_in_flight_packets() {
+        let mut n = net(2, 2);
+        assert_eq!(n.drop_packet(99), Err(NocError::UnknownPacket { id: 99 }));
+        assert_eq!(
+            n.corrupt_packet(99),
+            Err(NocError::UnknownPacket { id: 99 })
+        );
     }
 
     #[test]

@@ -30,6 +30,18 @@ pub enum TraceKind {
     TableFire,
     /// Free-form marker emitted by a model.
     Marker,
+    /// A fault became active (device stall, stuck controller, link down…).
+    Fault,
+    /// A previously faulty component resumed normal service.
+    Recovery,
+    /// The hypervisor changed its operating mode (normal / degraded /
+    /// P-channel-only). The `task` field carries the new mode's ordinal.
+    ModeChange,
+    /// A VM was throttled (budget overrun or submission flood).
+    Throttle,
+    /// The watchdog retried a stalled transaction (the `task` field carries
+    /// the attempt number).
+    Retry,
 }
 
 impl fmt::Display for TraceKind {
@@ -42,6 +54,11 @@ impl fmt::Display for TraceKind {
             TraceKind::DeadlineMiss => "deadline-miss",
             TraceKind::TableFire => "table-fire",
             TraceKind::Marker => "marker",
+            TraceKind::Fault => "fault",
+            TraceKind::Recovery => "recovery",
+            TraceKind::ModeChange => "mode-change",
+            TraceKind::Throttle => "throttle",
+            TraceKind::Retry => "retry",
         };
         f.write_str(s)
     }
@@ -230,5 +247,14 @@ mod tests {
         };
         assert_eq!(e.to_string(), "[5 slot] preempt vm=2 task=9");
         assert_eq!(TraceKind::TableFire.to_string(), "table-fire");
+    }
+
+    #[test]
+    fn fault_kind_display() {
+        assert_eq!(TraceKind::Fault.to_string(), "fault");
+        assert_eq!(TraceKind::Recovery.to_string(), "recovery");
+        assert_eq!(TraceKind::ModeChange.to_string(), "mode-change");
+        assert_eq!(TraceKind::Throttle.to_string(), "throttle");
+        assert_eq!(TraceKind::Retry.to_string(), "retry");
     }
 }
