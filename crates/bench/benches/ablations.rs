@@ -102,6 +102,7 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/noc_packet_latency");
     for flows in [1usize, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &flows| {
+            let mut out = Vec::new();
             b.iter(|| {
                 let mut net = Network::new(NetworkConfig::paper_platform()).unwrap();
                 for i in 0..flows as u64 {
@@ -116,7 +117,9 @@ fn bench_ablations(c: &mut Criterion) {
                     )
                     .unwrap();
                 }
-                black_box(net.run_until_idle(100_000).len())
+                out.clear();
+                net.run_until_idle_into(100_000, &mut out);
+                black_box(out.len())
             })
         });
     }

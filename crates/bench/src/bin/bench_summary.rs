@@ -1,0 +1,345 @@
+//! Machine-readable benchmark summary: `BENCH_noc.json`.
+//!
+//! Times the event-driven NoC core ([`Network`]) against the retained
+//! per-cycle reference stepper ([`ReferenceNetwork`]) on the two workload
+//! shapes DESIGN.md §10 cares about — a saturated uniform-random load
+//! (dense-state payoff) and a quiescence-heavy trickle (activity-horizon
+//! payoff) — plus the experiment engine's `slot_rate` lineup, and writes
+//! the rates to `BENCH_noc.json` in the current directory.
+//!
+//! Both NoC fabrics receive bit-identical stimulus through the
+//! [`NocFabric`] trait, and the run aborts unless their deliveries and
+//! statistics agree exactly: a summary produced from diverging simulators
+//! would be meaningless. The sparse case additionally enforces the PR's
+//! acceptance floor — the event-driven core must cover the idle horizon
+//! at least 3× faster than per-cycle stepping.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ioguard-bench --bin bench-summary            # full
+//! cargo run --release -p ioguard-bench --bin bench-summary -- --quick # CI
+//! ```
+//!
+//! Timing uses `std::time::Instant`; the bench crate is exempt from the
+//! ioguard-lint determinism rules because wall-clock measurement is its
+//! entire purpose.
+
+use std::time::Instant;
+
+use ioguard_core::casestudy::{run_trial, SystemUnderTest};
+use ioguard_noc::network::{Delivery, Network, NetworkConfig, NetworkStats, NocFabric};
+use ioguard_noc::packet::Packet;
+use ioguard_noc::reference::ReferenceNetwork;
+use ioguard_noc::topology::NodeId;
+use ioguard_sim::rng::Xoshiro256StarStar;
+use ioguard_workload::generator::{TrialConfig, TrialWorkload};
+
+/// Payload flits per packet (5 flits on the wire with the header).
+const PAYLOAD_FLITS: u32 = 4;
+
+/// Sizing knobs for one invocation.
+struct Mode {
+    label: &'static str,
+    /// Offered-traffic cycles of the saturated case.
+    saturated_cycles: u64,
+    /// Packets in the sparse trickle.
+    sparse_packets: u64,
+    /// Idle gap between trickle packets, in cycles.
+    sparse_gap: u64,
+    /// Slots per `run_trial` in the engine lineup.
+    slot_horizon: u64,
+    /// Timing repetitions (minimum elapsed wins).
+    reps: u32,
+}
+
+impl Mode {
+    fn quick() -> Self {
+        Self {
+            label: "quick",
+            saturated_cycles: 1_000,
+            sparse_packets: 64,
+            sparse_gap: 8_192,
+            slot_horizon: 4_000,
+            reps: 1,
+        }
+    }
+
+    fn full() -> Self {
+        Self {
+            label: "full",
+            saturated_cycles: 10_000,
+            sparse_packets: 256,
+            sparse_gap: 8_192,
+            slot_horizon: 16_000,
+            reps: 3,
+        }
+    }
+}
+
+/// What one fabric produced: enough to check equivalence and compute rates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Outcome {
+    deliveries: Vec<Delivery>,
+    stats: NetworkStats,
+    now: u64,
+}
+
+/// Drives seeded uniform-random traffic at 30% per-node injection for
+/// `cycles`, then drains. Identical call sequence for every fabric.
+fn drive_saturated<N: NocFabric + ?Sized>(
+    net: &mut N,
+    width: u16,
+    height: u16,
+    cycles: u64,
+) -> Outcome {
+    let nodes: Vec<NodeId> = net.mesh().iter_nodes().collect();
+    let mut rng = Xoshiro256StarStar::new(0x0_c0de_5eed);
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    let mut next_id = 1u64;
+    for _ in 0..cycles {
+        for &src in &nodes {
+            if !rng.chance(0.30) {
+                continue;
+            }
+            let dst = loop {
+                let candidate = NodeId::new(
+                    rng.range_u64(0, u64::from(width)) as u16,
+                    rng.range_u64(0, u64::from(height)) as u16,
+                );
+                if candidate != src {
+                    break candidate;
+                }
+            };
+            let packet = Packet::request(next_id, src, dst, PAYLOAD_FLITS)
+                .expect("benchmark packet is valid");
+            next_id += 1;
+            // A full NI queue drops the offer — saturation is the point.
+            let _ = net.inject(packet);
+        }
+        net.step_into(&mut deliveries);
+    }
+    net.run_until_idle_into(1_000_000, &mut deliveries);
+    Outcome {
+        stats: net.stats(),
+        now: net.now().raw(),
+        deliveries,
+    }
+}
+
+/// Drives one cross-mesh packet per `gap` cycles through `run_for` — the
+/// quiescence-heavy shape where the event-driven core jumps idle gaps and
+/// the reference stepper pays for every cycle.
+fn drive_sparse<N: NocFabric + ?Sized>(net: &mut N, packets: u64, gap: u64) -> Outcome {
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    for i in 0..packets {
+        let src = NodeId::new((i % 4) as u16, (i / 4 % 4) as u16);
+        let dst = NodeId::new(3 - src.x, 3 - src.y);
+        let packet =
+            Packet::request(i + 1, src, dst, PAYLOAD_FLITS).expect("benchmark packet is valid");
+        net.inject(packet).expect("sparse NI queue never fills");
+        net.run_for(gap, &mut deliveries);
+    }
+    net.run_until_idle_into(1_000_000, &mut deliveries);
+    Outcome {
+        stats: net.stats(),
+        now: net.now().raw(),
+        deliveries,
+    }
+}
+
+/// Times `work` `reps` times and returns (best seconds, last outcome).
+fn time_runs<O>(reps: u32, mut work: impl FnMut() -> O) -> (f64, O) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let outcome = work();
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(outcome);
+    }
+    (best, last.expect("at least one timed run"))
+}
+
+/// One engine-vs-reference comparison, with the equivalence gate applied.
+struct Comparison {
+    engine_secs: f64,
+    reference_secs: f64,
+    flit_hops: u64,
+    simulated_cycles: u64,
+    delivered: u64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.reference_secs / self.engine_secs
+    }
+
+    fn engine_flits_per_sec(&self) -> f64 {
+        self.flit_hops as f64 / self.engine_secs
+    }
+
+    fn engine_cycles_per_sec(&self) -> f64 {
+        self.simulated_cycles as f64 / self.engine_secs
+    }
+
+    fn reference_flits_per_sec(&self) -> f64 {
+        self.flit_hops as f64 / self.reference_secs
+    }
+
+    fn reference_cycles_per_sec(&self) -> f64 {
+        self.simulated_cycles as f64 / self.reference_secs
+    }
+}
+
+fn compare(
+    name: &str,
+    config: &NetworkConfig,
+    reps: u32,
+    drive: impl Fn(&mut dyn NocFabric) -> Outcome,
+) -> Comparison {
+    let (engine_secs, engine) = time_runs(reps, || {
+        let mut net = Network::new(config.clone()).expect("benchmark mesh is valid");
+        drive(&mut net)
+    });
+    let (reference_secs, reference) = time_runs(reps, || {
+        let mut net = ReferenceNetwork::new(config.clone()).expect("benchmark mesh is valid");
+        drive(&mut net)
+    });
+    assert_eq!(
+        engine, reference,
+        "{name}: event-driven core and reference stepper must agree exactly"
+    );
+    Comparison {
+        engine_secs,
+        reference_secs,
+        flit_hops: engine.stats.flit_hops,
+        simulated_cycles: engine.now,
+        delivered: engine.stats.delivered,
+    }
+}
+
+/// slots/s of `run_trial` for one Fig. 7 system.
+fn slot_rate(system: SystemUnderTest, workload: &TrialWorkload, horizon: u64, reps: u32) -> f64 {
+    let (secs, _) = time_runs(reps, || run_trial(system, workload, 7, horizon));
+    horizon as f64 / secs
+}
+
+/// Formats a rate with no fractional digits — rates in the millions don't
+/// need them, and integers keep the JSON diff-friendly.
+fn rate(value: f64) -> String {
+    format!("{value:.0}")
+}
+
+fn json_noc_case(name: &str, cmp: &Comparison) -> String {
+    format!(
+        concat!(
+            "    \"{name}\": {{\n",
+            "      \"simulated_cycles\": {cycles},\n",
+            "      \"flit_hops\": {hops},\n",
+            "      \"delivered_packets\": {delivered},\n",
+            "      \"engine\": {{ \"flits_per_sec\": {ef}, \"cycles_per_sec\": {ec} }},\n",
+            "      \"reference\": {{ \"flits_per_sec\": {rf}, \"cycles_per_sec\": {rc} }},\n",
+            "      \"speedup\": {speedup:.2}\n",
+            "    }}"
+        ),
+        name = name,
+        cycles = cmp.simulated_cycles,
+        hops = cmp.flit_hops,
+        delivered = cmp.delivered,
+        ef = rate(cmp.engine_flits_per_sec()),
+        ec = rate(cmp.engine_cycles_per_sec()),
+        rf = rate(cmp.reference_flits_per_sec()),
+        rc = rate(cmp.reference_cycles_per_sec()),
+        speedup = cmp.speedup(),
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { Mode::quick() } else { Mode::full() };
+
+    eprintln!("bench-summary: mode={}", mode.label);
+
+    // Saturated 8×8 uniform-random load: the dense-state case.
+    let saturated_config = NetworkConfig::mesh(8, 8);
+    let cycles = mode.saturated_cycles;
+    let saturated = compare("saturated_8x8", &saturated_config, mode.reps, |net| {
+        drive_saturated(net, 8, 8, cycles)
+    });
+    eprintln!(
+        "bench-summary: saturated_8x8 engine {} flits/s, reference {} flits/s ({:.2}x)",
+        rate(saturated.engine_flits_per_sec()),
+        rate(saturated.reference_flits_per_sec()),
+        saturated.speedup(),
+    );
+
+    // Sparse 4×4 trickle: the quiescence-skipping case.
+    let sparse_config = NetworkConfig::mesh(4, 4);
+    let (packets, gap) = (mode.sparse_packets, mode.sparse_gap);
+    let sparse = compare("sparse_4x4", &sparse_config, mode.reps, |net| {
+        drive_sparse(net, packets, gap)
+    });
+    eprintln!(
+        "bench-summary: sparse_4x4 engine {} cycles/s, reference {} cycles/s ({:.2}x)",
+        rate(sparse.engine_cycles_per_sec()),
+        rate(sparse.reference_cycles_per_sec()),
+        sparse.speedup(),
+    );
+
+    // Engine slot rate: the Fig. 7 lineup from the experiment hot path.
+    let workload = TrialWorkload::generate(&TrialConfig::new(4, 0.70, 7));
+    let mut slot_rates: Vec<(String, f64)> = Vec::new();
+    for system in SystemUnderTest::figure7_lineup() {
+        let rate_value = slot_rate(system, &workload, mode.slot_horizon, mode.reps);
+        eprintln!(
+            "bench-summary: engine/slot_rate {} = {} slots/s",
+            system.label(),
+            rate(rate_value)
+        );
+        slot_rates.push((system.label(), rate_value));
+    }
+
+    // Hand-formatted JSON: the workspace has no JSON dependency, and the
+    // schema is flat enough that string assembly stays readable.
+    let slot_entries: Vec<String> = slot_rates
+        .iter()
+        .map(|(label, value)| format!("      \"{label}\": {}", rate(*value)))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"ioguard-bench-noc/v1\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"noc\": {{\n",
+            "{saturated},\n",
+            "{sparse}\n",
+            "  }},\n",
+            "  \"engine\": {{\n",
+            "    \"slot_rate_slots_per_sec\": {{\n",
+            "{slots}\n",
+            "    }},\n",
+            "    \"slot_horizon\": {horizon}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        mode = mode.label,
+        saturated = json_noc_case("saturated_8x8", &saturated),
+        sparse = json_noc_case("sparse_4x4", &sparse),
+        slots = slot_entries.join(",\n"),
+        horizon = mode.slot_horizon,
+    );
+    std::fs::write("BENCH_noc.json", &json).expect("BENCH_noc.json is writable");
+    println!("{json}");
+    eprintln!("bench-summary: wrote BENCH_noc.json");
+
+    // Acceptance floor: quiescence skipping must beat per-cycle stepping
+    // by at least 3x on the sparse horizon.
+    if sparse.speedup() < 3.0 {
+        eprintln!(
+            "bench-summary: FAIL — sparse speedup {:.2}x is below the 3x floor",
+            sparse.speedup()
+        );
+        std::process::exit(1);
+    }
+}

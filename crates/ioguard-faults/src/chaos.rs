@@ -108,6 +108,9 @@ impl ChaosScenario {
         let mut next_id: u64 = 1;
         let mut malformed_rejected: u64 = 0;
         let mut completed_before: u64 = 0;
+        // One delivery scratch buffer for the whole trial — the per-slot
+        // loop must not allocate a fresh Vec per fabric step.
+        let mut noc_scratch = Vec::new();
         for t in 0..self.horizon {
             // Device faults fire on window boundaries, per the plan.
             if t % self.stall_window == 0
@@ -163,7 +166,8 @@ impl ChaosScenario {
                 }
             }
             completed_before = completed_now;
-            net.step();
+            noc_scratch.clear();
+            net.step_into(&mut noc_scratch);
         }
         // Fault clearance: stop injecting, drain, and measure how long the
         // mode machine takes to climb back to Normal.
@@ -181,7 +185,8 @@ impl ChaosScenario {
         } else {
             recovery_slots = Some(0);
         }
-        net.run_until_idle(10_000);
+        noc_scratch.clear();
+        net.run_until_idle_into(10_000, &mut noc_scratch);
         let noc = net.stats();
         Ok(ChaosOutcome {
             metrics: hv.metrics().clone(),

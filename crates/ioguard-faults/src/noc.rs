@@ -1,15 +1,23 @@
-//! Applying a [`FaultPlan`]'s NoC faults to a live [`Network`].
+//! Applying a [`FaultPlan`]'s NoC faults to a live fabric.
 //!
 //! The driver is windowed: time is cut into fixed windows and every fault
 //! decision is keyed on `(coordinate, window)` through the plan's pure
 //! decision function. Two drivers with the same plan therefore produce the
 //! same fabric state at the same cycle regardless of when or where they
 //! run — the property the chaos sweep's 1-vs-N-thread check relies on.
+//!
+//! The driver is generic over [`NocFabric`], so the exact same fault
+//! stimulus can be replayed against the event-driven `Network` and the
+//! retained reference stepper (the workspace differential tests do exactly
+//! that). Its window boundaries are also the fabric's *activity horizon*:
+//! between two edges the fault state cannot change, so [`
+//! NocFaultDriver::drive`] lets the event-driven core fast-forward across
+//! the whole gap with `run_for` instead of spinning idle cycles.
 
 use serde::{Deserialize, Serialize};
 
 use ioguard_noc::error::NocError;
-use ioguard_noc::network::Network;
+use ioguard_noc::network::{Delivery, NocFabric};
 use ioguard_noc::packet::{Packet, PacketKind};
 use ioguard_noc::topology::Direction;
 
@@ -61,13 +69,21 @@ impl NocFaultDriver {
             .chance(tags::CORRUPT, id, 0, self.plan.corrupt_rate)
     }
 
+    /// First cycle of the window after the one containing `cycle` — the
+    /// next instant at which this driver can change fabric state. Event-
+    /// driven callers combine this edge with the fabric's own activity to
+    /// bound how far they may fast-forward.
+    pub fn next_window_edge(&self, cycle: u64) -> u64 {
+        (cycle / self.window_cycles + 1).saturating_mul(self.window_cycles)
+    }
+
     /// Marks a just-injected packet per the plan (drop wins over corrupt).
     ///
     /// # Errors
     ///
     /// Propagates [`NocError::UnknownPacket`] if `id` was never injected —
     /// a caller bug, since marking is meant to follow injection directly.
-    pub fn mark_packet(&self, net: &mut Network, id: u64) -> Result<(), NocError> {
+    pub fn mark_packet<N: NocFabric>(&self, net: &mut N, id: u64) -> Result<(), NocError> {
         if self.should_drop(id) {
             net.drop_packet(id)?;
         } else if self.should_corrupt(id) {
@@ -85,7 +101,7 @@ impl NocFaultDriver {
     /// Propagates fabric errors from link toggling; burst packets that find
     /// a full injection queue are silently skipped (a burst into a loaded
     /// fabric is exactly the congestion being modelled).
-    pub fn apply(&mut self, net: &mut Network, cycle: u64) -> Result<(), NocError> {
+    pub fn apply<N: NocFabric>(&mut self, net: &mut N, cycle: u64) -> Result<(), NocError> {
         let window = cycle / self.window_cycles;
         if self.applied_window == Some(window) {
             return Ok(());
@@ -134,12 +150,40 @@ impl NocFaultDriver {
         }
         Ok(())
     }
+
+    /// Advances the fabric to absolute cycle `until_cycle` under this
+    /// driver's faults, appending deliveries to `out`. Fault state only
+    /// changes on window edges, so between edges the fabric is handed the
+    /// whole gap at once via [`NocFabric::run_for`] — the event-driven core
+    /// then skips quiescent stretches and batches uncontended traversals,
+    /// while the reference stepper grinds through every cycle, and both
+    /// land on the exact same state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric errors from fault application.
+    pub fn drive<N: NocFabric>(
+        &mut self,
+        net: &mut N,
+        until_cycle: u64,
+        out: &mut Vec<Delivery>,
+    ) -> Result<(), NocError> {
+        loop {
+            let now = net.now().raw();
+            if now >= until_cycle {
+                return Ok(());
+            }
+            self.apply(net, now)?;
+            let edge = self.next_window_edge(now).min(until_cycle);
+            net.run_for(edge - now, out);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ioguard_noc::network::NetworkConfig;
+    use ioguard_noc::network::{Network, NetworkConfig};
     use ioguard_noc::topology::NodeId;
 
     fn quiet_net() -> Network {
@@ -195,6 +239,44 @@ mod tests {
         assert!(dropped_expected > 0);
         assert_eq!(net.stats().dropped, dropped_expected);
         assert_eq!(net.stats().delivered, 20 - dropped_expected);
+    }
+
+    #[test]
+    fn window_edges_bound_the_activity_horizon() {
+        let driver = NocFaultDriver::new(FaultPlan::new(1), 128);
+        assert_eq!(driver.next_window_edge(0), 128);
+        assert_eq!(driver.next_window_edge(127), 128);
+        assert_eq!(driver.next_window_edge(128), 256);
+        assert_eq!(driver.next_window_edge(300), 384);
+    }
+
+    #[test]
+    fn drive_matches_per_cycle_apply_and_step() {
+        // Driving window-by-window (with `run_for` jumps) must land on the
+        // same fabric state as the cycle-by-cycle apply/step loop.
+        let mut plan = FaultPlan::new(23);
+        plan.link_down_rate = 0.2;
+        plan.burst_rate = 0.4;
+        plan.burst_packets = 2;
+        let horizon = 1000u64;
+
+        let mut jumped = quiet_net();
+        let mut jumped_out = Vec::new();
+        let mut d1 = NocFaultDriver::new(plan.clone(), 64);
+        d1.drive(&mut jumped, horizon, &mut jumped_out).unwrap();
+
+        let mut stepped = quiet_net();
+        let mut stepped_out = Vec::new();
+        let mut d2 = NocFaultDriver::new(plan, 64);
+        for cycle in 0..horizon {
+            d2.apply(&mut stepped, cycle).unwrap();
+            stepped.step_into(&mut stepped_out);
+        }
+
+        assert_eq!(jumped.now(), stepped.now());
+        assert_eq!(jumped_out, stepped_out);
+        assert_eq!(jumped.stats(), stepped.stats());
+        assert_eq!(jumped.failed_link_count(), stepped.failed_link_count());
     }
 
     #[test]

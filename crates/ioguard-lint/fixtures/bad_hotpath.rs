@@ -1,0 +1,25 @@
+//! Seeded-bad fixture for the hot-path-lookup rule: a function annotated
+//! as a per-cycle hot path performing keyed-container lookups inside its
+//! loops. CI runs `ioguard-lint -- check` over this file and asserts a
+//! non-zero exit.
+
+use std::collections::BTreeMap;
+
+pub struct Fabric {
+    in_flight: BTreeMap<u64, u64>,
+}
+
+impl Fabric {
+    // lint: hot-path — the per-cycle stepper this fixture seeds violations into
+    pub fn step_cycle(&mut self, ejected: &[u64]) {
+        for &id in ejected {
+            // Keyed lookup per flit — exactly what dense storage replaces.
+            if let Some(entry) = self.in_flight.get_mut(&id) {
+                *entry += 1;
+            }
+            if self.in_flight.contains_key(&id) {
+                self.in_flight.remove(&id);
+            }
+        }
+    }
+}

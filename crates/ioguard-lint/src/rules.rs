@@ -25,6 +25,10 @@ pub mod rule {
     pub const CAST_NARROWING: &str = "cast-narrowing";
     /// `HashMap`/`HashSet`/`std::time` in deterministic-simulation code.
     pub const NONDETERMINISM: &str = "nondeterminism";
+    /// Keyed-container lookup inside a loop in a function marked as a
+    /// per-cycle hot path (`// lint: hot-path` or a `hot_path` name): the
+    /// dense-storage invariant of the event-driven simulation core.
+    pub const HOT_PATH_LOOKUP: &str = "hot-path-lookup";
     /// Crate root missing `#![forbid(unsafe_code)]`.
     pub const FORBID_UNSAFE: &str = "forbid-unsafe";
     /// An allow directive without the mandatory justification text.
@@ -80,6 +84,8 @@ pub struct RuleSet {
     pub cast_narrowing: bool,
     /// Deny nondeterministic containers/clocks.
     pub nondeterminism: bool,
+    /// Deny keyed-container lookups in loops of annotated hot paths.
+    pub hot_path: bool,
 }
 
 /// Crates whose library code must be panic-free (hypervisor hot paths and
@@ -109,6 +115,7 @@ impl RuleSet {
             unchecked_arith: true,
             cast_narrowing: true,
             nondeterminism: true,
+            hot_path: true,
         }
     }
 
@@ -120,6 +127,7 @@ impl RuleSet {
             unchecked_arith: CHECKED_ARITH_CRATES.contains(&name),
             cast_narrowing: CHECKED_ARITH_CRATES.contains(&name),
             nondeterminism: DETERMINISTIC_CRATES.contains(&name),
+            hot_path: DETERMINISTIC_CRATES.contains(&name),
         }
     }
 
@@ -129,7 +137,8 @@ impl RuleSet {
             || self.indexing
             || self.unchecked_arith
             || self.cast_narrowing
-            || self.nondeterminism)
+            || self.nondeterminism
+            || self.hot_path)
     }
 }
 
@@ -177,6 +186,23 @@ const NONDET_TOKENS: &[&str] = &[
     "std::time",
     "Instant::now",
     "SystemTime",
+];
+
+/// Keyed-container signatures that have no place inside a per-cycle hot
+/// loop: container type names plus the `&`-keyed accessor shapes maps use
+/// (slice `get` takes a plain index, so `.get(&` / `.remove(&` single out
+/// keyed lookups). O(log n) or hashing per flit is exactly what the dense
+/// event-driven core exists to avoid.
+const HOT_LOOKUP_TOKENS: &[&str] = &[
+    "BTreeMap",
+    "BTreeSet",
+    "HashMap",
+    "HashSet",
+    ".contains_key(",
+    ".entry(",
+    ".get(&",
+    ".get_mut(&",
+    ".remove(&",
 ];
 
 /// Narrowing cast targets: anything below 64 bits loses range on the `u64`
@@ -229,6 +255,31 @@ pub fn lint_file(file: &SourceFile, rules: RuleSet, out: &mut Vec<Violation>) {
         if rules.unchecked_arith {
             check_arith(file, line, out);
         }
+        if rules.hot_path && line.in_hot_path && line.in_loop {
+            check_hot_lookup(file, line, out);
+        }
+    }
+}
+
+/// Keyed lookups in loops of hot-path-annotated functions.
+fn check_hot_lookup(file: &SourceFile, line: &LineInfo, out: &mut Vec<Violation>) {
+    for token in HOT_LOOKUP_TOKENS {
+        if !contains_token(&line.code, token) {
+            continue;
+        }
+        if file.allow_for(rule::HOT_PATH_LOOKUP, line).is_some() {
+            continue;
+        }
+        out.push(Violation {
+            rule: rule::HOT_PATH_LOOKUP,
+            path: file.path.clone(),
+            line: line.number,
+            message: format!(
+                "`{}` inside a per-cycle hot-path loop — use dense indexed storage, \
+                 or justify with lint: allow(hot-path-lookup)",
+                token.trim_matches('.')
+            ),
+        });
     }
 }
 
@@ -648,6 +699,56 @@ mod tests {
             2,
             "{v:?}"
         );
+    }
+
+    #[test]
+    fn hot_path_loop_lookup_is_flagged() {
+        let v = lint_src(
+            "// lint: hot-path — per-cycle stepper\nfn step_cycle(m: &std::collections::BTreeMap<u64, u64>) {\n    for i in 0..4 {\n        let _ = m.get(&i);\n    }\n}\n",
+            RuleSet {
+                hot_path: true,
+                ..RuleSet::for_crate("other")
+            },
+        );
+        assert!(v.iter().any(|v| v.rule == rule::HOT_PATH_LOOKUP), "{v:?}");
+    }
+
+    #[test]
+    fn hot_path_lookup_outside_loop_or_cold_fn_passes() {
+        let rules = RuleSet {
+            hot_path: true,
+            ..RuleSet::for_crate("other")
+        };
+        // Lookup in a hot fn but outside any loop: setup cost, allowed.
+        let v = lint_src(
+            "// lint: hot-path — per-cycle stepper\nfn step_cycle(m: &M) {\n    let _ = m.ids.get(&7);\n}\n",
+            rules,
+        );
+        assert!(v.iter().all(|v| v.rule != rule::HOT_PATH_LOOKUP), "{v:?}");
+        // Loop lookup in an unannotated fn: not a hot path.
+        let v = lint_src(
+            "fn cold(m: &M) {\n    for i in 0..4 {\n        let _ = m.ids.get(&i);\n    }\n}\n",
+            rules,
+        );
+        assert!(v.iter().all(|v| v.rule != rule::HOT_PATH_LOOKUP), "{v:?}");
+        // Slice-style positional get in a hot loop: not a keyed lookup.
+        let v = lint_src(
+            "// lint: hot-path — per-cycle stepper\nfn step_cycle(v: &[u64]) {\n    for i in 0..4 {\n        let _ = v.get(i);\n    }\n}\n",
+            rules,
+        );
+        assert!(v.iter().all(|v| v.rule != rule::HOT_PATH_LOOKUP), "{v:?}");
+    }
+
+    #[test]
+    fn hot_path_lookup_allow_escape_hatch() {
+        let v = lint_src(
+            "// lint: hot-path — per-cycle stepper\nfn step_cycle(m: &M) {\n    for i in 0..4 {\n        let _ = m.ids.get(&i); // lint: allow(hot-path-lookup) — cold slow path taken once per fault window\n    }\n}\n",
+            RuleSet {
+                hot_path: true,
+                ..RuleSet::for_crate("other")
+            },
+        );
+        assert!(v.iter().all(|v| v.rule != rule::HOT_PATH_LOOKUP), "{v:?}");
     }
 
     #[test]

@@ -60,6 +60,13 @@ pub struct LineInfo {
     /// True when the line sits inside a `#[cfg(test)]` item or `#[test]`
     /// function.
     pub in_test: bool,
+    /// True when the line sits inside a function marked as a per-cycle hot
+    /// path — via a `// lint: hot-path` comment directly above it, or a
+    /// name containing `hot_path`.
+    pub in_hot_path: bool,
+    /// True when the line sits inside (or on the header of) a `for`/
+    /// `while`/`loop` body.
+    pub in_loop: bool,
     /// Rules allowed on this line (same-line or preceding-line directives).
     pub allows: Vec<Allow>,
 }
@@ -98,6 +105,16 @@ impl SourceFile {
         let mut depth: usize = 0;
         let mut test_stack: Vec<usize> = Vec::new();
         let mut test_attr_armed = false;
+        // Hot-path-region tracking: armed by a `lint: hot-path` comment (or
+        // a `hot_path` fn name), the region opens at the next `{` — the fn
+        // body — exactly like the test-attribute pattern above.
+        let mut hot_stack: Vec<usize> = Vec::new();
+        let mut hot_armed = false;
+        // Loop tracking: `for`/`while`/`loop` arms a region opening at the
+        // next `{`. Loops nest, so the stack may hold several depths.
+        let mut loop_stack: Vec<usize> = Vec::new();
+        let mut loop_armed = false;
+        let mut fn_armed = false;
 
         for (idx, (code, comment)) in stripped.into_iter().enumerate() {
             let number = idx + 1;
@@ -119,16 +136,59 @@ impl SourceFile {
             }
 
             let in_test_before = !test_stack.is_empty();
+            let in_hot_before = !hot_stack.is_empty();
+            let in_loop_before = !loop_stack.is_empty();
+            let mut saw_hot = false;
+            let mut saw_loop = false;
             if code.contains("#[cfg(test)]") || code.contains("#[test]") {
                 test_attr_armed = true;
             }
-            for ch in code.chars() {
+            if comment.contains("lint: hot-path") {
+                hot_armed = true;
+            }
+            let bytes = code.as_bytes();
+            let mut j = 0;
+            while j < bytes.len() {
+                let ch = bytes[j] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    // Read the maximal identifier/keyword word.
+                    let start = j;
+                    while j < bytes.len()
+                        && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    match &code[start..j] {
+                        "for" | "while" | "loop" => loop_armed = true,
+                        "fn" => fn_armed = true,
+                        word => {
+                            if fn_armed {
+                                fn_armed = false;
+                                if word.contains("hot_path") {
+                                    hot_armed = true;
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
                 match ch {
                     '{' => {
                         if test_attr_armed {
                             test_stack.push(depth);
                             test_attr_armed = false;
                         }
+                        if hot_armed {
+                            hot_stack.push(depth);
+                            hot_armed = false;
+                            saw_hot = true;
+                        }
+                        if loop_armed {
+                            loop_stack.push(depth);
+                            saw_loop = true;
+                        }
+                        loop_armed = false;
+                        fn_armed = false;
                         depth += 1;
                     }
                     '}' => {
@@ -136,21 +196,35 @@ impl SourceFile {
                         if test_stack.last().is_some_and(|&d| d >= depth) {
                             test_stack.pop();
                         }
+                        if hot_stack.last().is_some_and(|&d| d >= depth) {
+                            hot_stack.pop();
+                        }
+                        while loop_stack.last().is_some_and(|&d| d >= depth) {
+                            loop_stack.pop();
+                        }
                     }
                     // `#[cfg(test)] use foo;` — attribute consumed
-                    // without opening a body.
+                    // without opening a body. Same for a stray hot-path
+                    // directive over a non-fn item.
                     ';' if depth == 0 => {
                         test_attr_armed = false;
+                        hot_armed = false;
+                        fn_armed = false;
                     }
                     _ => {}
                 }
+                j += 1;
             }
             let in_test = in_test_before || !test_stack.is_empty() || test_attr_armed;
+            let in_hot_path = in_hot_before || !hot_stack.is_empty() || saw_hot;
+            let in_loop = in_loop_before || !loop_stack.is_empty() || saw_loop || loop_armed;
 
             lines.push(LineInfo {
                 number,
                 code,
                 in_test,
+                in_hot_path,
+                in_loop,
                 allows,
             });
         }
@@ -453,6 +527,41 @@ mod tests {
         assert_eq!(f.file_allows.len(), 1);
         assert!(f.file_allows[0].file_wide);
         assert!(f.allow_for("indexing", &f.lines[1]).is_some());
+    }
+
+    #[test]
+    fn hot_path_directive_marks_fn_body() {
+        let text = "// lint: hot-path — per-cycle stepper\nfn step_cycle(&mut self) {\n    let x = 1;\n}\nfn cold() { let y = 2; }\n";
+        let f = parse(text);
+        assert!(f.lines[1].in_hot_path, "fn header line");
+        assert!(f.lines[2].in_hot_path, "body line");
+        assert!(f.lines[3].in_hot_path, "closing brace line");
+        assert!(!f.lines[4].in_hot_path, "next fn is cold");
+    }
+
+    #[test]
+    fn hot_path_fn_name_marks_body() {
+        let f = parse("fn route_hot_path(&self) {\n    let x = 1;\n}\n");
+        assert!(f.lines[1].in_hot_path);
+    }
+
+    #[test]
+    fn loops_are_tracked_with_nesting() {
+        let text = "fn f() {\n    let a = 0;\n    for i in 0..4 {\n        inner();\n        while go() {\n            deep();\n        }\n    }\n    let b = 1;\n}\n";
+        let f = parse(text);
+        assert!(!f.lines[1].in_loop, "before the loop");
+        assert!(f.lines[2].in_loop, "for header");
+        assert!(f.lines[3].in_loop, "loop body");
+        assert!(f.lines[5].in_loop, "nested while body");
+        assert!(f.lines[7].in_loop, "still inside for");
+        assert!(!f.lines[8].in_loop, "after the loop");
+    }
+
+    #[test]
+    fn for_each_and_identifiers_do_not_arm_loops() {
+        let f = parse("fn f() {\n    items.for_each(|x| use_it(x));\n    let looping = 3;\n}\n");
+        assert!(!f.lines[1].in_loop);
+        assert!(!f.lines[2].in_loop);
     }
 
     #[test]

@@ -59,6 +59,20 @@ fn seeded_unwrap_fixture_is_rejected() {
 }
 
 #[test]
+fn seeded_hotpath_fixture_is_rejected() {
+    let path = fixture("bad_hotpath.rs");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    assert!(
+        violations
+            .iter()
+            .filter(|v| v.rule == rule::HOT_PATH_LOOKUP)
+            .count()
+            >= 2,
+        "both loop lookups flagged: {violations:?}"
+    );
+}
+
+#[test]
 fn seeded_overlap_model_is_rejected() {
     let path = fixture("bad_overlap.model");
     let violations = check_paths(&[path.as_path()]).expect("fixture readable");

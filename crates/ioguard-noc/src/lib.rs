@@ -15,9 +15,12 @@
 //! * [`arbiter`] — round-robin and fixed-priority output-port arbiters.
 //! * [`router`] — a single 5-port wormhole router with per-input FIFOs and
 //!   per-output channel locks.
-//! * [`network`] — the assembled mesh: injection/ejection interfaces, a
-//!   global `step()` that advances every router one cycle, and per-packet
-//!   latency accounting.
+//! * [`network`] — the assembled mesh: injection/ejection interfaces, an
+//!   event-driven cycle stepper with dense state, a flit arena, quiescence
+//!   skipping and batched uncontended traversal, and per-packet latency
+//!   accounting.
+//! * [`reference`] — the retained per-cycle reference stepper, the
+//!   equivalence oracle for the event-driven core (see DESIGN.md §10).
 //!
 //! # Example
 //!
@@ -43,11 +46,12 @@ pub mod arbiter;
 pub mod error;
 pub mod network;
 pub mod packet;
+pub mod reference;
 pub mod router;
 pub mod topology;
 pub mod traffic;
 
 pub use error::NocError;
-pub use network::{Network, NetworkConfig};
+pub use network::{Network, NetworkConfig, NocFabric};
 pub use packet::{Packet, PacketKind};
 pub use topology::{Direction, NodeId};

@@ -120,9 +120,13 @@ pub fn run_load_point(config: &SweepConfig, offered_load: f64) -> Result<LoadPoi
     let total_flits = 1 + config.payload_flits;
     let packet_prob = (offered_load / total_flits as f64).min(1.0);
     let mut next_id = 1u64;
+    // One node list and one delivery scratch buffer for the whole run — the
+    // warm loop itself must not allocate per cycle.
+    let nodes: Vec<NodeId> = mesh.iter_nodes().collect();
+    let mut scratch = Vec::new();
 
     for _ in 0..config.warm_cycles {
-        for src in mesh.iter_nodes().collect::<Vec<_>>() {
+        for &src in &nodes {
             if rng.chance(packet_prob) {
                 if let Some(dst) =
                     config
@@ -149,9 +153,9 @@ pub fn run_load_point(config: &SweepConfig, offered_load: f64) -> Result<LoadPoi
                 }
             }
         }
-        net.step();
+        net.step_into(&mut scratch);
     }
-    net.run_until_idle(config.drain_cycles);
+    net.run_until_idle_into(config.drain_cycles, &mut scratch);
 
     let mut lat = OnlineStats::new();
     for d in net.deliveries() {

@@ -12,6 +12,9 @@ use ioguard_sim::stats::OnlineStats;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("5x5 mesh, XY routing, wormhole switching, round-robin arbiters\n");
 
+    // One delivery scratch buffer reused across every run below.
+    let mut out = Vec::new();
+
     // A probe flow crossing the middle row, with 0..8 competing flows.
     println!(
         "{:<12} {:>12} {:>12} {:>14}",
@@ -26,7 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let dst = NodeId::new(4, ((i + 2) % 5) as u16);
             net.inject(Packet::request(100 + i, src, dst, 8)?)?;
         }
-        let out = net.run_until_idle(100_000);
+        out.clear();
+        net.run_until_idle_into(100_000, &mut out);
         let probe = out
             .iter()
             .find(|d| d.packet.id() == 1)
@@ -59,7 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 net.inject(Packet::request(id, node, NodeId::new(2, 2), 4)?)?;
             }
         }
-        let out = net.run_until_idle(1_000_000);
+        out.clear();
+        net.run_until_idle_into(1_000_000, &mut out);
         let mut stats = OnlineStats::new();
         for d in &out {
             stats.push(d.latency().raw() as f64);
