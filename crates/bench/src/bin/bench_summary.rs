@@ -29,6 +29,7 @@ use std::time::Instant;
 
 use ioguard_core::casestudy::{run_trial, SystemUnderTest};
 use ioguard_noc::network::{Delivery, Network, NetworkConfig, NetworkStats, NocFabric};
+use ioguard_noc::obs::ObservedFabric;
 use ioguard_noc::packet::Packet;
 use ioguard_noc::reference::ReferenceNetwork;
 use ioguard_noc::topology::NodeId;
@@ -274,6 +275,31 @@ fn main() {
         saturated.speedup(),
     );
 
+    // Observability overhead: the same saturated stimulus through an
+    // ObservedFabric (trace sink + latency histogram on every delivery).
+    // The acceptance bar is <5% throughput regression over the plain core.
+    let (observed_secs, observed_outcome) = time_runs(mode.reps, || {
+        let inner = Network::new(saturated_config.clone()).expect("benchmark mesh is valid");
+        let mut net = ObservedFabric::new(inner, 1 << 16);
+        drive_saturated(&mut net, 8, 8, cycles)
+    });
+    let (_, plain_outcome) = time_runs(1, || {
+        let mut net = Network::new(saturated_config.clone()).expect("benchmark mesh is valid");
+        drive_saturated(&mut net, 8, 8, cycles)
+    });
+    assert_eq!(
+        observed_outcome, plain_outcome,
+        "observation must not perturb the NoC"
+    );
+    let obs_overhead_pct = (observed_secs / saturated.engine_secs - 1.0) * 100.0;
+    let observed_flits_per_sec = observed_outcome.stats.flit_hops as f64 / observed_secs;
+    eprintln!(
+        "bench-summary: obs_overhead saturated_8x8 plain {} flits/s, observed {} flits/s ({:+.1}%)",
+        rate(saturated.engine_flits_per_sec()),
+        rate(observed_flits_per_sec),
+        obs_overhead_pct,
+    );
+
     // Sparse 4×4 trickle: the quiescence-skipping case.
     let sparse_config = NetworkConfig::mesh(4, 4);
     let (packets, gap) = (mode.sparse_packets, mode.sparse_gap);
@@ -315,6 +341,13 @@ fn main() {
             "{saturated},\n",
             "{sparse}\n",
             "  }},\n",
+            "  \"obs\": {{\n",
+            "    \"saturated_8x8\": {{\n",
+            "      \"plain_flits_per_sec\": {plain_fps},\n",
+            "      \"observed_flits_per_sec\": {obs_fps},\n",
+            "      \"overhead_pct\": {obs_pct:.1}\n",
+            "    }}\n",
+            "  }},\n",
             "  \"engine\": {{\n",
             "    \"slot_rate_slots_per_sec\": {{\n",
             "{slots}\n",
@@ -326,6 +359,9 @@ fn main() {
         mode = mode.label,
         saturated = json_noc_case("saturated_8x8", &saturated),
         sparse = json_noc_case("sparse_4x4", &sparse),
+        plain_fps = rate(saturated.engine_flits_per_sec()),
+        obs_fps = rate(observed_flits_per_sec),
+        obs_pct = obs_overhead_pct,
         slots = slot_entries.join(",\n"),
         horizon = mode.slot_horizon,
     );
@@ -339,6 +375,15 @@ fn main() {
         eprintln!(
             "bench-summary: FAIL — sparse speedup {:.2}x is below the 3x floor",
             sparse.speedup()
+        );
+        std::process::exit(1);
+    }
+
+    // Observability must stay out of the NoC's way: <5% throughput cost
+    // with the trace sink and latency histogram attached.
+    if obs_overhead_pct >= 5.0 {
+        eprintln!(
+            "bench-summary: FAIL — obs overhead {obs_overhead_pct:.1}% is above the 5% ceiling"
         );
         std::process::exit(1);
     }

@@ -1,0 +1,27 @@
+//! `trace-export` — emit the canonical observability snapshot.
+//!
+//! Runs the two canonical observed scenarios (healthy end-to-end and a
+//! device-stall chaos trial, see `ioguard_core::observe`), composes the
+//! hand-formatted JSON summary, writes it to `OBS_snapshot.json` and echoes
+//! it to stdout. Deterministic byte-for-byte in the seed: CI runs this
+//! twice and diffs the outputs.
+//!
+//! Usage: `trace-export [seed] [output-path]`
+//! (defaults: seed `3405691582`, path `OBS_snapshot.json`)
+
+use ioguard_core::observe::snapshot_json;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(0xCAFE_BABE);
+    let path = args
+        .next()
+        .unwrap_or_else(|| "OBS_snapshot.json".to_string());
+    let json = snapshot_json(seed);
+    std::fs::write(&path, &json).expect("write snapshot");
+    print!("{json}");
+    eprintln!("wrote {path}");
+}

@@ -7,7 +7,9 @@
 //! **bit-identical at any thread count** — the reproducibility property the
 //! chaos-isolation test suite pins down.
 
-use ioguard_faults::{ChaosOutcome, ChaosScenario, FaultPlan};
+use ioguard_faults::{ChaosOutcome, ChaosScenario, FaultPlan, ObservedChaos};
+use ioguard_hypervisor::HvObs;
+use ioguard_obs::{CounterRegistry, Histogram};
 
 use crate::engine::{run_indexed, EngineStats};
 
@@ -65,6 +67,87 @@ impl ChaosSweep {
             outcomes,
             stats,
         })
+    }
+
+    /// Runs every scenario with the observability layer attached
+    /// ([`ChaosScenario::run_observed`]) and collects the observed trials
+    /// in scenario order.
+    ///
+    /// The plain outcomes inside are bit-identical to [`ChaosSweep::run`]
+    /// at any thread count, and the merged histograms are too: merging is
+    /// associative and commutative, and the fold below runs in scenario
+    /// order regardless of which worker ran which trial.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChaosSweep::run`].
+    pub fn run_observed(&self) -> Result<ObservedSweepReport, ioguard_hypervisor::HvError> {
+        let (results, stats) = run_indexed(self.threads, &self.scenarios, |_, s| s.run_observed());
+        let mut trials = Vec::with_capacity(results.len());
+        for r in results {
+            trials.push(r?);
+        }
+        Ok(ObservedSweepReport {
+            scenarios: self.scenarios.clone(),
+            trials,
+            stats,
+        })
+    }
+}
+
+/// The collected observed trials of one sweep.
+#[derive(Debug)]
+pub struct ObservedSweepReport {
+    /// The scenarios that ran, in order.
+    pub scenarios: Vec<ChaosScenario>,
+    /// Per-scenario observed trials, in scenario order.
+    pub trials: Vec<ObservedChaos>,
+    /// Engine counters for the run.
+    pub stats: EngineStats,
+}
+
+impl ObservedSweepReport {
+    /// The plain outcomes, in scenario order.
+    pub fn outcomes(&self) -> Vec<&ChaosOutcome> {
+        self.trials.iter().map(|t| &t.outcome).collect()
+    }
+
+    /// All hypervisor-side histograms merged across trials (per-VM vectors
+    /// zip by VM index; the standard battery uses one geometry throughout).
+    pub fn merged_hv_obs(&self) -> Option<HvObs> {
+        let mut iter = self.trials.iter();
+        let first = iter.next()?;
+        let mut merged = HvObs::new(0, first.hv_obs.e2e_per_vm.len());
+        merged.merge_histograms(&first.hv_obs);
+        for t in iter {
+            merged.merge_histograms(&t.hv_obs);
+        }
+        Some(merged)
+    }
+
+    /// NoC packet latency merged across trials.
+    pub fn merged_noc_latency(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for t in &self.trials {
+            merged.merge(&t.noc_latency);
+        }
+        merged
+    }
+
+    /// Indices of trials where folding the recorded event stream does not
+    /// reproduce the live per-VM counter registry — empty when the
+    /// trace/metrics cross-check holds across the battery.
+    pub fn cross_check_violations(&self) -> Vec<usize> {
+        self.trials
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                let vms = t.outcome.metrics.per_vm.len();
+                let folded = CounterRegistry::from_events(vms, t.hv_obs.sink.iter());
+                folded != t.outcome.metrics.registry() || t.hv_obs.sink.dropped() != 0
+            })
+            .map(|(i, _)| i)
+            .collect()
     }
 }
 

@@ -14,6 +14,9 @@
 //!   on: deterministic results at any thread count.
 //! * [`chaos`] — the robustness battery: fault-plan sweeps (adversarial
 //!   VMs, lossy NoCs, stalling devices) asserting the isolation claim.
+//! * [`observe`] — canonical observed runs for the `ioguard-obs` layer:
+//!   deterministic golden traces and the `OBS_snapshot.json` composer
+//!   behind the `trace-export` binary.
 //! * [`prelude`] — the commonly used types re-exported in one place.
 //!
 //! ## Quickstart
@@ -41,6 +44,7 @@ pub mod casestudy;
 pub mod chaos;
 pub mod engine;
 pub mod experiments;
+pub mod observe;
 pub mod predictability;
 
 /// Commonly used types, re-exported.
@@ -48,9 +52,10 @@ pub mod prelude {
     pub use crate::casestudy::{
         CaseStudyConfig, CaseStudyPoint, Fig7Report, PointSummary, SystemUnderTest,
     };
-    pub use crate::chaos::{ChaosSweep, ChaosSweepReport};
-    pub use crate::engine::{run_indexed, EngineStats};
+    pub use crate::chaos::{ChaosSweep, ChaosSweepReport, ObservedSweepReport};
+    pub use crate::engine::{run_indexed, run_indexed_profiled, EngineStats};
     pub use crate::experiments::{fig6_report, fig8_report, table1_report};
+    pub use crate::observe::{chaos_observed, end_to_end_observed, render_trace, ObservedRun};
     pub use crate::predictability::{latency_profiles, PredictabilityConfig};
     pub use ioguard_baselines::platform::{IoPlatform, PlatformJob, PlatformMetrics};
     pub use ioguard_hypervisor::{Hypervisor, HypervisorParams, RtJob};

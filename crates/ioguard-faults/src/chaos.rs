@@ -16,10 +16,12 @@ use ioguard_hypervisor::hypervisor::{
     AdmissionGuard, DegradationPolicy, HvMode, Hypervisor, HypervisorParams, RtJob,
 };
 use ioguard_hypervisor::metrics::HvMetrics;
-use ioguard_hypervisor::HvError;
-use ioguard_noc::network::{Network, NetworkConfig};
+use ioguard_hypervisor::{HvError, HvObs};
+use ioguard_noc::network::{Network, NetworkConfig, NocFabric};
+use ioguard_noc::obs::ObservedFabric;
 use ioguard_noc::packet::Packet;
 use ioguard_noc::topology::NodeId;
+use ioguard_obs::{Histogram, TraceSink};
 use ioguard_sched::task::PeriodicServer;
 
 use crate::noc::NocFaultDriver;
@@ -71,6 +73,43 @@ impl ChaosScenario {
     /// (throttles, pool overflows, malformed VMs) are part of the
     /// experiment and are counted, not propagated.
     pub fn run(&self) -> Result<ChaosOutcome, HvError> {
+        let hv = self.build_hypervisor()?;
+        let net = self.build_network()?;
+        let (outcome, _, _) = self.run_core(hv, net)?;
+        Ok(outcome)
+    }
+
+    /// Runs the scenario with the observability layer attached: the
+    /// hypervisor records structured events and latency histograms, and the
+    /// NoC leg runs through an [`ObservedFabric`].
+    ///
+    /// The simulated schedule is identical to [`ChaosScenario::run`] —
+    /// observation only reads state — so `run_observed().outcome ==
+    /// run()` for the same scenario.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChaosScenario::run`].
+    pub fn run_observed(&self) -> Result<ObservedChaos, HvError> {
+        let mut hv = self.build_hypervisor()?;
+        hv.attach_obs(OBS_EVENT_CAPACITY);
+        let net = ObservedFabric::new(self.build_network()?, OBS_EVENT_CAPACITY);
+        let (outcome, mut hv, net) = self.run_core(hv, net)?;
+        let hv_obs = hv
+            .take_obs()
+            .unwrap_or_else(|| Box::new(HvObs::new(0, self.vms)));
+        let (_, noc_sink, noc_latency) = net.into_parts();
+        Ok(ObservedChaos {
+            outcome,
+            hv_obs,
+            noc_sink,
+            noc_latency,
+        })
+    }
+
+    /// Builds the scenario's hypervisor (guarded-EDF servers, watchdog,
+    /// flood control, degradation tuning) with legacy tracing enabled.
+    fn build_hypervisor(&self) -> Result<Hypervisor, HvError> {
         let plan = &self.plan;
         let servers: Result<Vec<PeriodicServer>, _> = (0..self.vms)
             .map(|_| PeriodicServer::new(self.server_period, self.server_budget))
@@ -96,13 +135,24 @@ impl ChaosScenario {
             });
         let mut hv = Hypervisor::new(params)?;
         hv.enable_trace(512);
+        Ok(hv)
+    }
 
-        // The NoC leg: completions emit a response packet across a 4×4
-        // mesh, subject to the plan's link/drop/corrupt/burst faults.
-        let mut net =
-            Network::new(NetworkConfig::mesh(4, 4)).map_err(|e| HvError::InvalidConfig {
-                reason: format!("scenario mesh: {e}"),
-            })?;
+    /// Builds the scenario's response-traffic mesh.
+    fn build_network(&self) -> Result<Network, HvError> {
+        Network::new(NetworkConfig::mesh(4, 4)).map_err(|e| HvError::InvalidConfig {
+            reason: format!("scenario mesh: {e}"),
+        })
+    }
+
+    /// The trial body, generic over the fabric so the observed and plain
+    /// runs execute the exact same code path.
+    fn run_core<N: NocFabric>(
+        &self,
+        mut hv: Hypervisor,
+        mut net: N,
+    ) -> Result<(ChaosOutcome, Hypervisor, N), HvError> {
+        let plan = &self.plan;
         let mut noc_faults = NocFaultDriver::new(plan.clone(), self.stall_window);
 
         let mut next_id: u64 = 1;
@@ -188,7 +238,7 @@ impl ChaosScenario {
         noc_scratch.clear();
         net.run_until_idle_into(10_000, &mut noc_scratch);
         let noc = net.stats();
-        Ok(ChaosOutcome {
+        let outcome = ChaosOutcome {
             metrics: hv.metrics().clone(),
             final_mode_ordinal: hv.mode().ordinal(),
             mode_changes: hv.metrics().mode_changes,
@@ -198,8 +248,28 @@ impl ChaosScenario {
             noc_delivered: noc.delivered,
             noc_dropped: noc.dropped,
             noc_corrupted: noc.corrupted,
-        })
+        };
+        Ok((outcome, hv, net))
     }
+}
+
+/// Event capacity of the sinks attached by [`ChaosScenario::run_observed`]:
+/// large enough that a default-geometry trial (flooding adversary included)
+/// never evicts — the metrics/trace cross-check needs the complete stream.
+pub const OBS_EVENT_CAPACITY: usize = 1 << 18;
+
+/// The result of an observed chaos trial: the plain outcome plus the
+/// recorded event streams and latency histograms.
+#[derive(Debug)]
+pub struct ObservedChaos {
+    /// The plain trial outcome (bit-identical to [`ChaosScenario::run`]).
+    pub outcome: ChaosOutcome,
+    /// Hypervisor-side observability state (events + latency histograms).
+    pub hv_obs: Box<HvObs>,
+    /// NoC-side event stream (injections, deliveries, drops, corruption).
+    pub noc_sink: TraceSink,
+    /// NoC per-packet latency histogram, in cycles.
+    pub noc_latency: Histogram,
 }
 
 /// The result of one chaos trial, comparable bit-for-bit across runs.
@@ -283,6 +353,27 @@ mod tests {
             ChaosScenario::new(plan).run().unwrap()
         };
         assert_eq!(mk(), mk(), "chaos trials are reproducible");
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        let plan = FaultPlan::new(42).with_adversary(1, 6);
+        let mut scenario = ChaosScenario::new(plan);
+        scenario.horizon = 400;
+        let plain = scenario.run().unwrap();
+        let observed = scenario.run_observed().unwrap();
+        assert_eq!(observed.outcome, plain, "observation must not perturb");
+        assert_eq!(observed.hv_obs.sink.dropped(), 0, "sink sized for trial");
+        assert_eq!(observed.noc_sink.dropped(), 0);
+        assert_eq!(
+            observed
+                .hv_obs
+                .sink
+                .of_kind(ioguard_obs::ObsKind::Complete)
+                .count() as u64,
+            plain.metrics.completed,
+        );
+        assert_eq!(observed.noc_latency.count(), plain.noc_delivered);
     }
 
     #[test]

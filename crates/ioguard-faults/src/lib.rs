@@ -27,6 +27,6 @@ pub mod chaos;
 pub mod noc;
 pub mod plan;
 
-pub use chaos::{ChaosOutcome, ChaosScenario};
+pub use chaos::{ChaosOutcome, ChaosScenario, ObservedChaos};
 pub use noc::NocFaultDriver;
 pub use plan::FaultPlan;

@@ -238,6 +238,7 @@ mod tests {
                 deadline,
                 remaining: 1,
                 enqueued_at: 0,
+                first_dispatch: u64::MAX,
                 response_bytes: 0,
                 critical: true,
             })

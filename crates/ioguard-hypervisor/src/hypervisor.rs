@@ -17,14 +17,16 @@
 
 use serde::{Deserialize, Serialize};
 
+use ioguard_obs::{ObsKind, SYSTEM_VM};
 use ioguard_sim::time::Slots;
 use ioguard_sim::trace::{TraceBuffer, TraceKind};
 
 use crate::driver::{RetryPolicy, Watchdog, WatchdogVerdict};
 use crate::error::HvError;
 use crate::gsched::{Gsched, GschedPolicy};
+use crate::obs::HvObs;
 use crate::pchannel::{PChannel, PredefinedTask};
-use crate::pool::{IoPool, PoolEntry};
+use crate::pool::{IoPool, PoolEntry, NEVER_DISPATCHED};
 use crate::shadowindex::ShadowIndex;
 
 pub use crate::metrics::{HvMetrics, VmMetrics};
@@ -267,6 +269,11 @@ pub struct Hypervisor {
     device_fault_active: bool,
     /// Consecutive healthy slots (drives mode recovery).
     healthy_slots: u64,
+    /// Optional observability layer (structured events + latency
+    /// histograms). `None` by default: the device pays one branch per
+    /// emission site and nothing else.
+    #[serde(skip, default)]
+    obs: Option<Box<HvObs>>,
 }
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -353,6 +360,7 @@ impl Hypervisor {
             device_stuck: false,
             device_fault_active: false,
             healthy_slots: 0,
+            obs: None,
         })
     }
 
@@ -366,6 +374,24 @@ impl Hypervisor {
     /// The scheduling-event trace.
     pub fn trace(&self) -> &TraceBuffer {
         &self.trace
+    }
+
+    /// Attaches the observability layer: a structured event sink of
+    /// `capacity` events plus the latency histograms. Replaces any observer
+    /// already attached (fresh state).
+    pub fn attach_obs(&mut self, capacity: usize) {
+        self.obs = Some(Box::new(HvObs::new(capacity, self.pools.len())));
+    }
+
+    /// The attached observer, if any.
+    pub fn obs(&self) -> Option<&HvObs> {
+        self.obs.as_deref()
+    }
+
+    /// Detaches and returns the observer (the hypervisor keeps running
+    /// unobserved).
+    pub fn take_obs(&mut self) -> Option<Box<HvObs>> {
+        self.obs.take()
     }
 
     /// Current slot of the global timer.
@@ -437,6 +463,15 @@ impl Hypervisor {
                 let shed = self.pools[vm].shed_best_effort();
                 if !shed.is_empty() {
                     self.metrics.note_shed(vm, shed.len() as u64);
+                    if let Some(obs) = self.obs.as_mut() {
+                        obs.sink.record(
+                            self.now,
+                            ObsKind::Shed,
+                            trace_id(vm as u64),
+                            0,
+                            shed.len() as u64,
+                        );
+                    }
                     self.sync_shadow(vm);
                 }
             }
@@ -458,6 +493,15 @@ impl Hypervisor {
             u32::MAX,
             next.ordinal(),
         );
+        if let Some(obs) = self.obs.as_mut() {
+            obs.sink.record(
+                self.now,
+                ObsKind::ModeChange,
+                SYSTEM_VM,
+                0,
+                u64::from(next.ordinal()),
+            );
+        }
     }
 
     /// Refreshes the comparator-tree leaf of VM `vm` from its pool's shadow
@@ -482,7 +526,7 @@ impl Hypervisor {
     }
 
     /// Charges one submission of VM `vm` against flood control.
-    fn admission_check(&mut self, vm: usize) -> Result<(), HvError> {
+    fn admission_check(&mut self, vm: usize, task_id: u64) -> Result<(), HvError> {
         let Some(guard) = self.admission else {
             return Ok(());
         };
@@ -493,6 +537,15 @@ impl Hypervisor {
         if now < st.throttled_until {
             let until = st.throttled_until;
             self.metrics.note_throttled_submission(vm);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.sink.record(
+                    now,
+                    ObsKind::ThrottledSubmission,
+                    trace_id(vm as u64),
+                    task_id,
+                    until,
+                );
+            }
             return Err(HvError::Throttled { vm, until });
         }
         if now >= st.window_start.saturating_add(guard.window) {
@@ -515,6 +568,17 @@ impl Hypervisor {
                 trace_id(vm as u64),
                 trace_id(until),
             );
+            if let Some(obs) = self.obs.as_mut() {
+                obs.sink
+                    .record(now, ObsKind::Throttle, trace_id(vm as u64), 0, until);
+                obs.sink.record(
+                    now,
+                    ObsKind::ThrottledSubmission,
+                    trace_id(vm as u64),
+                    task_id,
+                    until,
+                );
+            }
             return Err(HvError::Throttled { vm, until });
         }
         Ok(())
@@ -531,21 +595,57 @@ impl Hypervisor {
         if job.vm >= vms {
             return Err(HvError::UnknownVm { vm: job.vm, vms });
         }
-        self.admission_check(job.vm)?;
+        self.admission_check(job.vm, job.task_id)?;
         match self.mode {
             HvMode::Normal => {}
             HvMode::Degraded if job.critical => {}
             HvMode::Degraded => {
                 // Degraded mode sheds best-effort work at admission.
                 self.metrics.note_shed(job.vm, 1);
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.sink.record(
+                        self.now,
+                        ObsKind::Shed,
+                        trace_id(job.vm as u64),
+                        job.task_id,
+                        1,
+                    );
+                }
                 return Err(HvError::DegradedMode);
             }
             HvMode::PchannelOnly => {
-                // The R-channel is down: a refused critical job is a miss.
+                // The R-channel is down: a refused critical job is a miss —
+                // and the trace says so too. (This edge used to be counted
+                // in the per-VM totals without a matching trace event, which
+                // broke fold(trace) == metrics.)
                 if job.critical {
                     self.metrics.note_miss(job.vm, job.task_id, true);
+                    self.trace.record(
+                        Slots::new(self.now),
+                        TraceKind::DeadlineMiss,
+                        trace_id(job.vm as u64),
+                        trace_id(job.task_id),
+                    );
+                    if let Some(obs) = self.obs.as_mut() {
+                        obs.sink.record(
+                            self.now,
+                            ObsKind::DeadlineMiss,
+                            trace_id(job.vm as u64),
+                            job.task_id,
+                            1,
+                        );
+                    }
                 } else {
                     self.metrics.note_shed(job.vm, 1);
+                    if let Some(obs) = self.obs.as_mut() {
+                        obs.sink.record(
+                            self.now,
+                            ObsKind::Shed,
+                            trace_id(job.vm as u64),
+                            job.task_id,
+                            1,
+                        );
+                    }
                 }
                 return Err(HvError::DegradedMode);
             }
@@ -556,12 +656,22 @@ impl Hypervisor {
         for missed in pool.expire(self.now) {
             self.metrics
                 .note_miss(job.vm, missed.task_id, missed.critical);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.sink.record(
+                    self.now,
+                    ObsKind::DeadlineMiss,
+                    trace_id(job.vm as u64),
+                    missed.task_id,
+                    u64::from(missed.critical),
+                );
+            }
         }
         let entry = PoolEntry {
             task_id: job.task_id,
             deadline: job.deadline,
             remaining: job.wcet,
             enqueued_at: self.now,
+            first_dispatch: NEVER_DISPATCHED,
             response_bytes,
             critical: job.critical,
         };
@@ -573,10 +683,19 @@ impl Hypervisor {
                     trace_id(job.vm as u64),
                     trace_id(job.task_id),
                 );
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.sink.record(
+                        self.now,
+                        ObsKind::Admit,
+                        trace_id(job.vm as u64),
+                        job.task_id,
+                        job.wcet,
+                    );
+                }
                 Ok(())
             }
             Err(_) => {
-                let capacity = pool.capacity();
+                let capacity = self.pools[job.vm].capacity();
                 self.metrics.rejected += 1;
                 self.metrics.note_miss(job.vm, job.task_id, job.critical);
                 self.trace.record(
@@ -585,6 +704,15 @@ impl Hypervisor {
                     trace_id(job.vm as u64),
                     trace_id(job.task_id),
                 );
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.sink.record(
+                        self.now,
+                        ObsKind::DeadlineMiss,
+                        trace_id(job.vm as u64),
+                        job.task_id,
+                        u64::from(job.critical),
+                    );
+                }
                 Err(HvError::PoolFull {
                     vm: job.vm,
                     capacity,
@@ -614,6 +742,15 @@ impl Hypervisor {
                     trace_id(vm as u64),
                     trace_id(missed.task_id),
                 );
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.sink.record(
+                        now,
+                        ObsKind::DeadlineMiss,
+                        trace_id(vm as u64),
+                        missed.task_id,
+                        u64::from(missed.critical),
+                    );
+                }
             }
             self.shadow_index.update(vm, pool.shadow_key());
         }
@@ -626,6 +763,9 @@ impl Hypervisor {
             self.device_fault_active = true;
             self.trace
                 .record(Slots::new(now), TraceKind::Fault, u32::MAX, 0);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.sink.record(now, ObsKind::Fault, SYSTEM_VM, 0, 0);
+            }
         } else if device_ok && self.device_fault_active {
             self.device_fault_active = false;
             if let Some(wd) = &mut self.watchdog {
@@ -633,6 +773,9 @@ impl Hypervisor {
             }
             self.trace
                 .record(Slots::new(now), TraceKind::Recovery, u32::MAX, 0);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.sink.record(now, ObsKind::Recovery, SYSTEM_VM, 0, 0);
+            }
         }
         if device_ok {
             self.healthy_slots = self.healthy_slots.saturating_add(1);
@@ -693,12 +836,17 @@ impl Hypervisor {
         if p_uses_slot {
             self.metrics.pchannel_slots += 1;
             if let Some(owner) = powner {
+                let task_id = self.pchannel.tasks()[owner.task_index].task_id;
                 self.trace.record(
                     Slots::new(now),
                     TraceKind::TableFire,
                     u32::MAX,
-                    trace_id(self.pchannel.tasks()[owner.task_index].task_id),
+                    trace_id(task_id),
                 );
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.sink
+                        .record(now, ObsKind::TableFire, SYSTEM_VM, task_id, 0);
+                }
             }
         } else if self.mode == HvMode::PchannelOnly {
             // Degraded slot table: only σ\* executes, the R-channel is off.
@@ -718,6 +866,10 @@ impl Hypervisor {
                 for (vm, pool) in self.pools.iter().enumerate() {
                     if !pool.is_empty() && self.gsched.is_blocked(vm) {
                         self.metrics.note_throttled_slot(vm);
+                        if let Some(obs) = self.obs.as_mut() {
+                            obs.sink
+                                .record(now, ObsKind::ThrottledSlot, trace_id(vm as u64), 0, 0);
+                        }
                     }
                 }
             }
@@ -741,6 +893,15 @@ impl Hypervisor {
                                     trace_id(vm as u64),
                                     attempt,
                                 );
+                                if let Some(obs) = self.obs.as_mut() {
+                                    obs.sink.record(
+                                        now,
+                                        ObsKind::Retry,
+                                        trace_id(vm as u64),
+                                        0,
+                                        u64::from(attempt),
+                                    );
+                                }
                             }
                             WatchdogVerdict::Exhausted => self.degrade(),
                         }
@@ -749,36 +910,72 @@ impl Hypervisor {
                 Some(running) => {
                     let vm = running.0;
                     self.metrics.rchannel_slots += 1;
-                    if !self.trace.is_disabled() {
-                        match self.last_dispatched {
-                            Some(prev) if prev == running => {}
+                    if let Some(obs) = self.obs.as_mut() {
+                        let remaining = self.pools[vm].shadow().map_or(0, |e| e.remaining);
+                        obs.sink.record(
+                            now,
+                            ObsKind::GschedGrant,
+                            trace_id(vm as u64),
+                            running.1,
+                            remaining,
+                        );
+                    }
+                    if !self.trace.is_disabled() || self.obs.is_some() {
+                        // One switch decision, shared by the legacy trace
+                        // (a disabled buffer ignores record) and the obs
+                        // sink so the two streams can never disagree.
+                        enum Switch {
+                            Continue,
+                            Dispatch,
+                            Preempt(usize, u64),
+                        }
+                        let switch = match self.last_dispatched {
+                            Some(prev) if prev == running => Switch::Continue,
+                            // A different job resumed while the previous one
+                            // still has work: a preemption.
                             Some((pvm, ptask))
                                 if self
                                     .pools
                                     .get(pvm)
                                     .is_some_and(|p| p.iter().any(|e| e.task_id == ptask)) =>
                             {
-                                // A different job resumed while the previous
-                                // one still has work: a preemption.
-                                self.trace.record(
-                                    Slots::new(now),
-                                    TraceKind::Preempt,
+                                Switch::Preempt(pvm, ptask)
+                            }
+                            _ => Switch::Dispatch,
+                        };
+                        if let Switch::Preempt(pvm, ptask) = switch {
+                            self.trace.record(
+                                Slots::new(now),
+                                TraceKind::Preempt,
+                                trace_id(pvm as u64),
+                                trace_id(ptask),
+                            );
+                            if let Some(obs) = self.obs.as_mut() {
+                                obs.sink.record(
+                                    now,
+                                    ObsKind::Preempt,
                                     trace_id(pvm as u64),
-                                    trace_id(ptask),
-                                );
-                                self.trace.record(
-                                    Slots::new(now),
-                                    TraceKind::Dispatch,
-                                    trace_id(running.0 as u64),
-                                    trace_id(running.1),
+                                    ptask,
+                                    0,
                                 );
                             }
-                            _ => self.trace.record(
+                        }
+                        if !matches!(switch, Switch::Continue) {
+                            self.trace.record(
                                 Slots::new(now),
                                 TraceKind::Dispatch,
                                 trace_id(running.0 as u64),
                                 trace_id(running.1),
-                            ),
+                            );
+                            if let Some(obs) = self.obs.as_mut() {
+                                obs.sink.record(
+                                    now,
+                                    ObsKind::Dispatch,
+                                    trace_id(vm as u64),
+                                    running.1,
+                                    0,
+                                );
+                            }
                         }
                     }
                     self.last_dispatched = Some(running);
@@ -786,6 +983,11 @@ impl Hypervisor {
                         // Progress on the device closes any stall episode
                         // (the Recovery trace edge is emitted in step 2b).
                         wd.note_progress();
+                    }
+                    if self.obs.is_some() {
+                        // Stamp the dispatch edge for the latency split
+                        // (idempotent; invisible to scheduling).
+                        self.pools[vm].note_dispatch(now);
                     }
                     if let Ok(Some(done)) = self.pools[vm].execute_slot() {
                         // Completion moved the shadow register; a mere
@@ -804,6 +1006,31 @@ impl Hypervisor {
                             trace_id(vm as u64),
                             trace_id(done.task_id),
                         );
+                        if let Some(obs) = self.obs.as_mut() {
+                            let finish = now.saturating_add(1);
+                            let e2e = finish.saturating_sub(done.enqueued_at);
+                            obs.sink.record(
+                                now,
+                                ObsKind::Complete,
+                                trace_id(vm as u64),
+                                done.task_id,
+                                e2e,
+                            );
+                            if done.first_dispatch != NEVER_DISPATCHED {
+                                obs.submit_to_dispatch
+                                    .record(done.first_dispatch.saturating_sub(done.enqueued_at));
+                                obs.dispatch_to_response
+                                    .record(finish.saturating_sub(done.first_dispatch));
+                            }
+                            if let Some(h) = obs.e2e_per_vm.get_mut(vm) {
+                                h.record(e2e);
+                            }
+                            if done.critical {
+                                obs.e2e_critical.record(e2e);
+                            } else {
+                                obs.e2e_best_effort.record(e2e);
+                            }
+                        }
                         self.last_dispatched = None;
                     }
                 }

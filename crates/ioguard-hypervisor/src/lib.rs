@@ -51,6 +51,7 @@ pub mod error;
 pub mod gsched;
 pub mod hypervisor;
 pub mod metrics;
+pub mod obs;
 pub mod pchannel;
 pub mod pool;
 pub mod shadowindex;
@@ -59,4 +60,5 @@ pub mod system;
 pub use error::HvError;
 pub use hypervisor::{Hypervisor, HypervisorParams, RtJob};
 pub use metrics::{HvMetrics, VmMetrics};
+pub use obs::HvObs;
 pub use system::{IoDeviceConfig, MultiIoSystem, Transfer};

@@ -11,37 +11,19 @@ use serde::{Deserialize, Serialize};
 
 use ioguard_sim::stats::OnlineStats;
 
+pub use ioguard_obs::counters::VmCounters;
+use ioguard_obs::CounterRegistry;
+
 /// Capacity of the recent-miss diagnostic ring.
 const MISS_RING: usize = 64;
 
 /// Per-VM execution counters.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct VmMetrics {
-    /// Run-time jobs of this VM completed before their deadlines.
-    pub completed: u64,
-    /// Run-time jobs of this VM that missed (expired, rejected, or dropped
-    /// after the watchdog's retry budget was exhausted).
-    pub missed: u64,
-    /// Misses of *critical* jobs only.
-    pub critical_missed: u64,
-    /// Submissions rejected while the VM was throttled (flood control).
-    pub throttled_submissions: u64,
-    /// Slots in which this VM had buffered work but was denied the slot by
-    /// budget enforcement (throttled instead of stealing from σ\*).
-    pub throttled_slots: u64,
-    /// Watchdog retries attributed to this VM's transactions.
-    pub retries: u64,
-    /// Best-effort jobs shed from this VM's pool (or refused at admission)
-    /// by graceful degradation.
-    pub dropped_best_effort: u64,
-}
-
-impl VmMetrics {
-    /// True when no run-time job of this VM has missed.
-    pub fn no_misses(&self) -> bool {
-        self.missed == 0
-    }
-}
+///
+/// Since the observability layer landed, this is the obs crate's
+/// [`VmCounters`] — one definition shared by the live hypervisor and the
+/// trace-stream fold ([`CounterRegistry::fold_event`]), so the cross-check
+/// `fold(trace) == registry` compares identical types field-for-field.
+pub type VmMetrics = VmCounters;
 
 /// Aggregate execution metrics.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -98,6 +80,13 @@ impl HvMetrics {
     /// the accessor never panics on diagnostic paths).
     pub fn vm(&self, vm: usize) -> VmMetrics {
         self.per_vm.get(vm).copied().unwrap_or_default()
+    }
+
+    /// The per-VM counters as an obs-layer [`CounterRegistry`] — the live
+    /// side of the metrics/trace cross-check (`fold(trace)` must reproduce
+    /// this exactly).
+    pub fn registry(&self) -> CounterRegistry {
+        CounterRegistry::from_vms(self.per_vm.clone())
     }
 
     /// Records a miss of `task_id` on `vm`.

@@ -1,0 +1,96 @@
+//! Hypervisor-side observability state: the trace sink plus the latency
+//! histograms the device maintains while it runs.
+//!
+//! [`HvObs`] is attached to a hypervisor with
+//! [`Hypervisor::attach_obs`](crate::hypervisor::Hypervisor::attach_obs)
+//! and is deliberately *optional*: the default device carries `None` and
+//! pays only a branch per emission site, so existing experiments are
+//! untouched unless a caller opts in.
+//!
+//! The histograms split response latency at the dispatch edge — the point
+//! where a buffered job first receives a device slot
+//! ([`crate::pool::PoolEntry::first_dispatch`]):
+//!
+//! * **submit→dispatch** — queueing delay inside the I/O pool (scheduler
+//!   pressure, throttling, backoff).
+//! * **dispatch→response** — execution time on the device once granted
+//!   (WCET plus preemptions by the P-channel and tighter deadlines).
+//! * **end-to-end** — the sum, kept per VM and per criticality class so
+//!   the isolation claim ("a faulty VM may degrade only its own tail")
+//!   is checkable from the histograms alone.
+
+use serde::{Deserialize, Serialize};
+
+use ioguard_obs::{Histogram, TraceSink};
+
+/// Observability state owned by a hypervisor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HvObs {
+    /// Bounded structured event stream (drop-oldest on overflow).
+    pub sink: TraceSink,
+    /// Queueing delay: submission slot → first device slot.
+    pub submit_to_dispatch: Histogram,
+    /// Service time: first device slot → response emission.
+    pub dispatch_to_response: Histogram,
+    /// End-to-end response latency, one histogram per VM.
+    pub e2e_per_vm: Vec<Histogram>,
+    /// End-to-end latency of critical jobs across all VMs.
+    pub e2e_critical: Histogram,
+    /// End-to-end latency of best-effort jobs across all VMs.
+    pub e2e_best_effort: Histogram,
+}
+
+impl HvObs {
+    /// Observability state with a sink of `capacity` events and one
+    /// end-to-end histogram per VM.
+    pub fn new(capacity: usize, vms: usize) -> Self {
+        Self {
+            sink: TraceSink::new(capacity),
+            submit_to_dispatch: Histogram::new(),
+            dispatch_to_response: Histogram::new(),
+            e2e_per_vm: vec![Histogram::new(); vms],
+            e2e_critical: Histogram::new(),
+            e2e_best_effort: Histogram::new(),
+        }
+    }
+
+    /// Merges another observer's histograms into this one (sinks are not
+    /// merged — event streams from different runs do not interleave
+    /// meaningfully; merge is for combining per-trial histograms).
+    pub fn merge_histograms(&mut self, other: &HvObs) {
+        self.submit_to_dispatch.merge(&other.submit_to_dispatch);
+        self.dispatch_to_response.merge(&other.dispatch_to_response);
+        for (mine, theirs) in self.e2e_per_vm.iter_mut().zip(other.e2e_per_vm.iter()) {
+            mine.merge(theirs);
+        }
+        self.e2e_critical.merge(&other.e2e_critical);
+        self.e2e_best_effort.merge(&other.e2e_best_effort);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sizes_per_vm_histograms() {
+        let obs = HvObs::new(16, 3);
+        assert_eq!(obs.sink.capacity(), 16);
+        assert_eq!(obs.e2e_per_vm.len(), 3);
+        assert_eq!(obs.e2e_critical.count(), 0);
+    }
+
+    #[test]
+    fn merge_histograms_combines_by_position() {
+        let mut a = HvObs::new(4, 2);
+        let mut b = HvObs::new(4, 2);
+        a.submit_to_dispatch.record(5);
+        b.submit_to_dispatch.record(9);
+        a.e2e_per_vm[1].record(3);
+        b.e2e_per_vm[1].record(4);
+        a.merge_histograms(&b);
+        assert_eq!(a.submit_to_dispatch.count(), 2);
+        assert_eq!(a.e2e_per_vm[0].count(), 0);
+        assert_eq!(a.e2e_per_vm[1].count(), 2);
+    }
+}

@@ -26,6 +26,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::HvError;
 
+/// Sentinel for [`PoolEntry::first_dispatch`]: the task has not received a
+/// device slot yet.
+pub const NEVER_DISPATCHED: u64 = u64::MAX;
+
 /// One buffered run-time I/O task inside a pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PoolEntry {
@@ -37,6 +41,10 @@ pub struct PoolEntry {
     pub remaining: u64,
     /// Slot at which the task entered the pool.
     pub enqueued_at: u64,
+    /// Slot of the task's first device slot ([`NEVER_DISPATCHED`] until the
+    /// executor calls [`IoPool::note_dispatch`]) — the observability
+    /// layer's submit→dispatch / dispatch→response split point.
+    pub first_dispatch: u64,
     /// Response payload bytes to emit on completion.
     pub response_bytes: u32,
     /// True when a deadline miss of this task fails the trial (safety and
@@ -52,8 +60,8 @@ pub struct PoolEntry {
 /// use ioguard_hypervisor::pool::{IoPool, PoolEntry};
 ///
 /// let mut pool = IoPool::new(4);
-/// pool.insert(PoolEntry { task_id: 1, deadline: 50, remaining: 2, enqueued_at: 0, response_bytes: 64, critical: true }).expect("space");
-/// pool.insert(PoolEntry { task_id: 2, deadline: 10, remaining: 1, enqueued_at: 0, response_bytes: 64, critical: true }).expect("space");
+/// pool.insert(PoolEntry { task_id: 1, deadline: 50, remaining: 2, enqueued_at: 0, first_dispatch: u64::MAX, response_bytes: 64, critical: true }).expect("space");
+/// pool.insert(PoolEntry { task_id: 2, deadline: 10, remaining: 1, enqueued_at: 0, first_dispatch: u64::MAX, response_bytes: 64, critical: true }).expect("space");
 /// // The L-Sched surfaces the earliest deadline in the shadow register.
 /// assert_eq!(pool.shadow().expect("non-empty").task_id, 2);
 /// ```
@@ -155,6 +163,20 @@ impl IoPool {
         removed
     }
 
+    /// Stamps the shadow entry's [`PoolEntry::first_dispatch`] with `now`
+    /// if it has not been dispatched before. Called by the executor when it
+    /// hands the entry its first device slot; a no-op on an empty pool and
+    /// on already-dispatched entries, and invisible to scheduling (nothing
+    /// orders on the stamp).
+    pub fn note_dispatch(&mut self, now: u64) {
+        if let Some(idx) = self.shadow_idx {
+            let entry = &mut self.entries[idx];
+            if entry.first_dispatch == NEVER_DISPATCHED {
+                entry.first_dispatch = now;
+            }
+        }
+    }
+
     /// Executes one slot of the shadow entry (called by the executor when
     /// the G-Sched grants this pool the slot). Returns `Ok(Some(entry))` if
     /// the task *completed* with this slot (removing it from the queue) and
@@ -235,9 +257,27 @@ mod tests {
             deadline,
             remaining,
             enqueued_at: 0,
+            first_dispatch: NEVER_DISPATCHED,
             response_bytes: 64,
             critical: true,
         }
+    }
+
+    #[test]
+    fn note_dispatch_stamps_only_once() {
+        let mut p = IoPool::new(4);
+        p.note_dispatch(5); // empty pool: no-op
+        p.insert(entry(1, 100, 2)).unwrap();
+        assert_eq!(p.shadow().unwrap().first_dispatch, NEVER_DISPATCHED);
+        p.note_dispatch(3);
+        assert_eq!(p.shadow().unwrap().first_dispatch, 3);
+        p.note_dispatch(7); // already stamped: unchanged
+        assert_eq!(p.shadow().unwrap().first_dispatch, 3);
+        // A tighter entry takes the register and gets its own stamp.
+        p.insert(entry(2, 10, 1)).unwrap();
+        p.note_dispatch(9);
+        assert_eq!(p.shadow().unwrap().task_id, 2);
+        assert_eq!(p.shadow().unwrap().first_dispatch, 9);
     }
 
     #[test]

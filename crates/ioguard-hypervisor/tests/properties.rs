@@ -54,6 +54,7 @@ fn pool_shadow_matches_naive_model_over_10k_ops() {
                         deadline,
                         remaining,
                         enqueued_at: now,
+                        first_dispatch: u64::MAX,
                         response_bytes: 0,
                         critical: true,
                     })
@@ -182,6 +183,7 @@ proptest! {
                         deadline,
                         remaining: wcet,
                         enqueued_at: 0,
+                        first_dispatch: u64::MAX,
                         response_bytes: 0,
                         critical: true,
                     });

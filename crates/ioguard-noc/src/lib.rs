@@ -45,6 +45,7 @@
 pub mod arbiter;
 pub mod error;
 pub mod network;
+pub mod obs;
 pub mod packet;
 pub mod reference;
 pub mod router;
@@ -53,5 +54,6 @@ pub mod traffic;
 
 pub use error::NocError;
 pub use network::{Network, NetworkConfig, NocFabric};
+pub use obs::ObservedFabric;
 pub use packet::{Packet, PacketKind};
 pub use topology::{Direction, NodeId};

@@ -1,0 +1,123 @@
+//! Property tests for the log-bucketed [`Histogram`] (ISSUE 5 satellite):
+//! merge associativity/commutativity, total-count preservation, bucket
+//! monotonicity, and percentile bounds under arbitrary `u64` samples.
+
+use ioguard_obs::Histogram;
+use proptest::prelude::*;
+
+fn fill(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): work-stealing shards may combine in any
+    /// grouping and must produce bit-identical state.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..64),
+        b in proptest::collection::vec(any::<u64>(), 0..64),
+        c in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (ha, hb, hc) = (fill(&a), fill(&b), fill(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// a ⊕ b == b ⊕ a.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..128),
+        b in proptest::collection::vec(any::<u64>(), 0..128),
+    ) {
+        let (ha, hb) = (fill(&a), fill(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging shards preserves the total count, the bucket-wise sums, and
+    /// equals recording the concatenated stream directly.
+    #[test]
+    fn merge_preserves_totals(
+        a in proptest::collection::vec(any::<u64>(), 0..128),
+        b in proptest::collection::vec(any::<u64>(), 0..128),
+    ) {
+        let mut merged = fill(&a);
+        merged.merge(&fill(&b));
+        let mut whole: Vec<u64> = a.clone();
+        whole.extend_from_slice(&b);
+        let direct = fill(&whole);
+        prop_assert_eq!(&merged, &direct);
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let bucket_total: u64 = merged.bucket_counts().iter().sum();
+        prop_assert_eq!(bucket_total, merged.count());
+    }
+
+    /// Every sample lands in exactly one bucket, and each bucket's
+    /// inclusive bounds are respected: counts in bucket i only come from
+    /// samples in [2^(i-1), 2^i - 1] (bucket 0 holds exactly the zeros).
+    #[test]
+    fn buckets_partition_the_samples(samples in proptest::collection::vec(any::<u64>(), 0..256)) {
+        let h = fill(&samples);
+        for (i, &n) in h.bucket_counts().iter().enumerate() {
+            let lo: u64 = if i == 0 { 0 } else { 1u64 << (i - 1) };
+            let hi: u64 = match i {
+                0 => 0,
+                64 => u64::MAX,
+                i => (1u64 << i) - 1,
+            };
+            let expected = samples.iter().filter(|&&v| v >= lo && v <= hi).count() as u64;
+            prop_assert_eq!(n, expected, "bucket {}", i);
+        }
+    }
+
+    /// Percentiles are monotone in p (so p99 ≥ p50) and always inside the
+    /// recorded [min, max] envelope.
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        samples in proptest::collection::vec(any::<u64>(), 1..256),
+        lo_p in 0.0f64..=1.0,
+        hi_p in 0.0f64..=1.0,
+    ) {
+        let h = fill(&samples);
+        let (lo_p, hi_p) = if lo_p <= hi_p { (lo_p, hi_p) } else { (hi_p, lo_p) };
+        let low = h.percentile(lo_p).expect("non-empty");
+        let high = h.percentile(hi_p).expect("non-empty");
+        prop_assert!(high >= low, "p{hi_p} = {high} < p{lo_p} = {low}");
+        let min = h.min().expect("non-empty");
+        let max = h.max().expect("non-empty");
+        for p in [0.0, 0.5, 0.9, 0.99, 1.0, lo_p, hi_p] {
+            let v = h.percentile(p).expect("non-empty");
+            prop_assert!(v >= min && v <= max, "p{p} = {v} outside [{min}, {max}]");
+        }
+        let p50 = h.percentile(0.50).expect("non-empty");
+        let p99 = h.percentile(0.99).expect("non-empty");
+        prop_assert!(p99 >= p50);
+    }
+
+    /// The cumulative distribution is non-decreasing and the percentile of
+    /// a cumulative fraction never undershoots the bucket that reaches it.
+    #[test]
+    fn cumulative_counts_are_monotone(samples in proptest::collection::vec(any::<u64>(), 0..256)) {
+        let h = fill(&samples);
+        let mut running = 0u64;
+        for &n in h.bucket_counts() {
+            let next = running.checked_add(n).expect("counts fit u64");
+            prop_assert!(next >= running);
+            running = next;
+        }
+        prop_assert_eq!(running, h.count());
+    }
+}

@@ -1,0 +1,80 @@
+//! Golden-trace regression tests for the observability layer.
+//!
+//! Two canonical scenarios — the healthy end-to-end run and the shrunk
+//! device-stall chaos trial from `ioguard_core::observe` — are rendered to
+//! text and compared **byte-for-byte** against goldens committed under
+//! `tests/goldens/`. Each scenario additionally runs as a batch of eight
+//! identical trials through the work-stealing engine at one and at eight
+//! worker threads: every copy must produce the same bytes, which pins down
+//! the thread-count independence of the whole observed pipeline (fault
+//! plans, hypervisor, NoC, trace sinks).
+//!
+//! After an *intentional* trace change, regenerate the goldens with
+//!
+//! ```text
+//! cargo test -p ioguard-integration-tests --test golden_traces -- --ignored bless
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use ioguard_core::engine::run_indexed;
+use ioguard_core::observe::{chaos_observed, end_to_end_observed, render_trace};
+
+/// The pinned seed both goldens were generated with.
+const SEED: u64 = 0xD1CE;
+
+const GOLDEN_END_TO_END: &str = include_str!("../goldens/end_to_end.trace");
+const GOLDEN_CHAOS: &str = include_str!("../goldens/chaos.trace");
+
+fn end_to_end_trace(seed: u64) -> String {
+    let run = end_to_end_observed(seed);
+    assert_eq!(run.hv_obs.sink.dropped(), 0, "hv sink must not evict");
+    assert_eq!(run.noc_sink.dropped(), 0, "noc sink must not evict");
+    render_trace(&run.hv_obs.sink, &run.noc_sink)
+}
+
+fn chaos_trace(seed: u64) -> String {
+    let trial = chaos_observed(seed);
+    assert_eq!(trial.hv_obs.sink.dropped(), 0, "hv sink must not evict");
+    assert_eq!(trial.noc_sink.dropped(), 0, "noc sink must not evict");
+    render_trace(&trial.hv_obs.sink, &trial.noc_sink)
+}
+
+fn assert_matches_golden(golden: &str, name: &str, render: impl Fn(u64) -> String + Sync) {
+    assert!(
+        !golden.is_empty(),
+        "{name}: golden file is empty — bless it first (see module docs)"
+    );
+    let items = vec![SEED; 8];
+    for threads in [1usize, 8] {
+        let (traces, _) = run_indexed(threads, &items, |_, &s| render(s));
+        for (i, t) in traces.iter().enumerate() {
+            assert!(
+                t.as_str() == golden,
+                "{name}: trial {i} at {threads} thread(s) diverged from the \
+                 committed golden — if the trace change is intentional, bless \
+                 new goldens (see module docs)"
+            );
+        }
+    }
+}
+
+#[test]
+fn end_to_end_trace_matches_golden_at_any_thread_count() {
+    assert_matches_golden(GOLDEN_END_TO_END, "end_to_end", end_to_end_trace);
+}
+
+#[test]
+fn chaos_trace_matches_golden_at_any_thread_count() {
+    assert_matches_golden(GOLDEN_CHAOS, "chaos", chaos_trace);
+}
+
+#[test]
+#[ignore = "writes tests/goldens/*.trace; run only after an intentional trace change"]
+fn bless_goldens() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/goldens");
+    std::fs::create_dir_all(dir).expect("create goldens dir");
+    std::fs::write(format!("{dir}/end_to_end.trace"), end_to_end_trace(SEED))
+        .expect("write end_to_end golden");
+    std::fs::write(format!("{dir}/chaos.trace"), chaos_trace(SEED)).expect("write chaos golden");
+}
