@@ -1,0 +1,31 @@
+//! Seeded-bad fixture for the hand-off drain extension of the
+//! nondeterminism rule: cross-thread hand-off queues (inbox/outbox/
+//! mailbox vocabulary) consumed in arrival order with no cycle-keyed
+//! fence and no justification. CI runs `ioguard-lint -- check` over this
+//! file and asserts a non-zero exit.
+
+use std::collections::VecDeque;
+
+pub struct Boundary {
+    inbox: VecDeque<u64>,
+    outbox: VecDeque<u64>,
+    handoff_queue: Vec<u64>,
+}
+
+impl Boundary {
+    /// Arrival-order pop: whichever producer thread won the race to push
+    /// first is consumed first — scheduler-dependent.
+    pub fn take_next(&mut self) -> Option<u64> {
+        self.inbox.pop_front()
+    }
+
+    /// Same defect from the producer side.
+    pub fn undo_send(&mut self) -> Option<u64> {
+        self.outbox.pop_back()
+    }
+
+    /// Bulk drain without a merge key.
+    pub fn flush(&mut self) -> Vec<u64> {
+        self.handoff_queue.drain(..).collect()
+    }
+}

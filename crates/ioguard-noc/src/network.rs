@@ -194,30 +194,32 @@ pub trait NocFabric {
 }
 
 /// Sentinel for "no input owns this output" in the dense lock array.
-const NO_LOCK: u8 = 5;
+/// Shared with the domain-decomposed engine in [`crate::parallel`].
+pub(crate) const NO_LOCK: u8 = 5;
 
 /// One flit in the dense core. Carries its packet's slab slot (plus the
 /// slot generation for debug validation), so ejection never needs a keyed
-/// lookup.
+/// lookup. Shared with [`crate::parallel`], whose regions run the same
+/// dense per-cycle semantics.
 #[derive(Debug, Clone, Copy, Default)]
-struct SimFlit {
+pub(crate) struct SimFlit {
     /// Slab slot of the owning packet.
-    slot: u32,
+    pub(crate) slot: u32,
     /// Slab generation at allocation (stale-reuse detector).
-    gen: u32,
+    pub(crate) gen: u32,
     /// Position within the packet: 0 = header.
-    seq: u32,
+    pub(crate) seq: u32,
     /// True for the final flit (releases the wormhole channel).
-    tail: bool,
+    pub(crate) tail: bool,
     /// Destination node.
-    dst: NodeId,
+    pub(crate) dst: NodeId,
     /// Traffic class for QoS arbitration (0 = highest priority).
-    class: u8,
+    pub(crate) class: u8,
 }
 
 impl SimFlit {
     #[inline]
-    const fn is_head(&self) -> bool {
+    pub(crate) const fn is_head(&self) -> bool {
         self.seq == 0
     }
 }
@@ -1021,12 +1023,12 @@ impl NocFabric for Network {
 }
 
 #[inline]
-fn set_bit(words: &mut [u64], i: usize) {
+pub(crate) fn set_bit(words: &mut [u64], i: usize) {
     words[i / 64] |= 1u64 << (i % 64);
 }
 
 #[inline]
-fn clear_bit(words: &mut [u64], i: usize) {
+pub(crate) fn clear_bit(words: &mut [u64], i: usize) {
     words[i / 64] &= !(1u64 << (i % 64));
 }
 

@@ -1,0 +1,1526 @@
+//! Domain-decomposed parallel NoC simulation (PDES) with bit-identical
+//! merge.
+//!
+//! [`ParallelNetwork`] partitions the mesh into per-thread regions (a
+//! [`RegionMap`]: column stripes by default, quadrants/grids/arbitrary
+//! assignments all valid) and simulates each region with the same dense
+//! event-driven per-cycle core as [`crate::network::Network`]. Regions
+//! synchronize **conservatively**: every link has a transit latency of one
+//! cycle, so a flit sent across a region boundary at cycle `t` can earliest
+//! affect the receiving region at `t + 1`. That one-cycle lookahead is the
+//! whole synchronization protocol:
+//!
+//! * **Cycle-tagged hand-off queues** — each ordered region pair with at
+//!   least one boundary link owns a queue of boundary messages (flits and
+//!   credits), every message tagged with its send cycle. A region starting
+//!   cycle `t` integrates exactly the messages with `send_cycle < t`, in
+//!   fixed (peer-region, queue-FIFO) order. Because at most one flit
+//!   crosses a given link per cycle and queue order per link is the
+//!   producer's deterministic plan order, the drain is equivalent to a
+//!   (link-id, cycle)-keyed merge.
+//! * **Barrier per epoch** — worker threads run in lockstep, one cycle per
+//!   epoch, separated by a sense-reversing barrier. The barrier bounds
+//!   producer lead to one cycle, so the `send_cycle < t` rule sees a
+//!   *complete* set of messages: threaded execution and sequential
+//!   region-by-region execution produce identical state, which is how the
+//!   differential suites pin the engine down.
+//! * **Credit mirroring** — backpressure across a boundary is a mirrored
+//!   free-space counter: the upstream region decrements it when it sends a
+//!   flit and increments it when the downstream region's pop comes back as
+//!   a credit message. The timing matches the serial engine exactly: a pop
+//!   at cycle `t` becomes visible to upstream planning at `t + 1` in both.
+//! * **Quiescence** — when the global flit count (region-resident plus
+//!   in-channel) reaches zero, batches stop early and `run_for` jumps the
+//!   clock across the idle gap, preserving the sparse-traffic win of the
+//!   serial engine.
+//!
+//! The region core stores its flit arena as structure-of-arrays (separate
+//! slot/seq/destination/flag lanes) and executes each cycle's planned moves
+//! as two contiguous passes (batch pop + credit emission, then batch
+//! route/push), with boundary sends coalesced into one lock per channel per
+//! cycle. Deliveries are merged across regions by the unique per-cycle key
+//! (cycle, destination node) — at most one packet ejects per router per
+//! cycle — so deliveries, stats, clocks and observation events are
+//! bit-identical to the serial engine and to the reference stepper at any
+//! region count. DESIGN.md §12 holds the full argument.
+
+// lint: allow(indexing, file) — all dense arrays are sized to mesh.nodes()
+// (times the fixed 5 ports and FIFO depth) or to the region/channel counts
+// at construction; every index is derived from mesh.index_of,
+// Direction::index (0..5), a region id below region_count, or a bounded
+// counter.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use ioguard_sim::time::Cycles;
+
+use crate::arbiter::ArbiterKind;
+use crate::error::NocError;
+use crate::network::{
+    clear_bit, set_bit, Delivery, NetworkConfig, NetworkStats, NocFabric, SimFlit, NO_LOCK,
+};
+use crate::packet::Packet;
+use crate::topology::{Direction, Mesh, NodeId, RegionMap};
+
+/// Sentinel for "no channel / not a boundary port" in the dense routing
+/// tables.
+const NO_CHAN: u32 = u32::MAX;
+
+/// Sentinel for "no in-progress boundary packet" in the per-input-port
+/// slot-rewrite map.
+const NO_XFER: u64 = u64::MAX;
+
+/// Batches below this length run on the sequential driver: spawning scoped
+/// threads plus per-cycle barriers only pays off when there are enough
+/// cycles to amortize it over.
+const PAR_BATCH_MIN: u64 = 64;
+
+/// Upper bound on one batch, so deliveries surface and the orchestrator can
+/// re-check idle jumps at a reasonable cadence.
+const BATCH_MAX: u64 = 4096;
+
+/// The in-flight record of one packet. Unlike the serial engine's slab
+/// entry this is boxed: when the header flit crosses a region boundary the
+/// record travels with it as a pointer move.
+#[derive(Debug)]
+struct LiveRec {
+    packet: Packet,
+    injected_at: Cycles,
+    flits_seen: u32,
+    drop: bool,
+    corrupt: bool,
+}
+
+/// Slab entry for one region-resident packet record.
+#[derive(Debug)]
+struct RSlot {
+    gen: u32,
+    live: Option<Box<LiveRec>>,
+}
+
+/// One message crossing a region boundary, tagged with its send cycle.
+#[derive(Debug)]
+enum BoundaryMsg {
+    /// A flit that traversed a boundary link: `dst_port` is the global
+    /// input-port index it lands in. Header flits carry the packet record.
+    Flit {
+        cycle: u64,
+        dst_port: u32,
+        flit: SimFlit,
+        record: Option<Box<LiveRec>>,
+    },
+    /// Downstream popped a flit from the FIFO fed by upstream output port
+    /// `src_port`: one credit of buffer space returns.
+    Credit { cycle: u64, src_port: u32 },
+}
+
+impl BoundaryMsg {
+    #[inline]
+    const fn cycle(&self) -> u64 {
+        match self {
+            BoundaryMsg::Flit { cycle, .. } | BoundaryMsg::Credit { cycle, .. } => *cycle,
+        }
+    }
+}
+
+/// A hand-off queue between one ordered pair of regions. Single producer,
+/// single consumer by construction (only the source region pushes, only the
+/// destination region drains); the mutex makes that safe to the compiler
+/// and is uncontended in the common case.
+#[derive(Debug, Default)]
+struct Channel {
+    queue: Mutex<VecDeque<BoundaryMsg>>,
+}
+
+impl Channel {
+    /// Poison-free lock: a poisoned queue simply yields its inner state
+    /// (the panicking thread's batch is already being unwound).
+    fn lock(&self) -> MutexGuard<'_, VecDeque<BoundaryMsg>> {
+        match self.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Per-epoch synchronization state shared by the region workers: a
+/// sense-reversing spin barrier plus the published per-region flit counters
+/// the last arriver sums to decide whether the batch can stop early.
+#[derive(Debug)]
+struct EpochSync {
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+    /// Generation at which the batch stops (`u64::MAX` = keep running).
+    stop_gen: AtomicU64,
+    counters: Vec<RegionCounters>,
+}
+
+/// Cache-line-aligned published counters for one region.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct RegionCounters {
+    live: AtomicU64,
+    sent: AtomicU64,
+    recv: AtomicU64,
+}
+
+impl EpochSync {
+    fn new(regions: usize) -> Self {
+        Self {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            stop_gen: AtomicU64::new(u64::MAX),
+            counters: (0..regions).map(|_| RegionCounters::default()).collect(),
+        }
+    }
+
+    #[inline]
+    fn publish(&self, region: usize, live: u64, sent: u64, recv: u64) {
+        let c = &self.counters[region];
+        c.live.store(live, Ordering::Release);
+        c.sent.store(sent, Ordering::Release);
+        c.recv.store(recv, Ordering::Release);
+    }
+
+    /// Arrives at the barrier for the current epoch. The last arriver sums
+    /// the published counters and, when the fabric is globally idle or the
+    /// batch is exhausted, marks this generation as the stopping one.
+    /// Returns the generation that was crossed.
+    fn arrive(&self, last_cycle_of_batch: bool) -> u64 {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.counters.len() {
+            let mut total: u64 = 0;
+            for c in &self.counters {
+                total = total
+                    .wrapping_add(c.live.load(Ordering::Acquire))
+                    .wrapping_add(c.sent.load(Ordering::Acquire))
+                    .wrapping_sub(c.recv.load(Ordering::Acquire));
+            }
+            if total == 0 || last_cycle_of_batch {
+                self.stop_gen.store(gen, Ordering::Release);
+            }
+            self.arrived.store(0, Ordering::Release);
+            self.generation.store(gen + 1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins = spins.wrapping_add(1);
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    // Oversubscribed hosts (fewer cores than regions) must
+                    // make progress: hand the core to a runnable worker.
+                    std::thread::yield_now();
+                }
+            }
+        }
+        gen
+    }
+
+    #[inline]
+    fn stopped_at(&self, gen: u64) -> bool {
+        self.stop_gen.load(Ordering::Acquire) == gen
+    }
+}
+
+/// One simulation region: the dense event-driven core of
+/// [`crate::network::Network`] restricted to the nodes a region owns, with
+/// structure-of-arrays flit storage and boundary routing tables.
+///
+/// Arrays are mesh-sized (not region-sized) so no index remapping is
+/// needed; only owned nodes' entries are ever touched.
+#[derive(Debug)]
+struct Region {
+    id: u8,
+    mesh: Mesh,
+    fifo_depth: usize,
+    injection_depth: usize,
+    class_aware: bool,
+    arbiter: ArbiterKind,
+
+    // Structure-of-arrays flit arena: ring buffers per input port, one lane
+    // per field so planning reads only the route lanes (seq/dst/flags) and
+    // moves read the identity lanes (slot/gen).
+    f_slot: Vec<u32>,
+    f_gen: Vec<u32>,
+    f_seq: Vec<u32>,
+    f_dst: Vec<u32>,
+    /// bit 0 = tail, bits 1.. = traffic class.
+    f_flags: Vec<u8>,
+    fifo_head: Vec<u32>,
+    fifo_len: Vec<u32>,
+
+    locks: Vec<u8>,
+    rr_next: Vec<u8>,
+    failed_links: Vec<bool>,
+    failed_link_count: usize,
+    injection: Vec<VecDeque<SimFlit>>,
+
+    slab: Vec<RSlot>,
+    free_slots: Vec<u32>,
+
+    router_flits: Vec<u32>,
+    active_routers: Vec<u64>,
+    active_inject: Vec<u64>,
+    /// Flits resident in this region (FIFOs + injection queues).
+    live_flits: u64,
+    /// Cumulative flits sent across boundaries (monotone).
+    sent_flits: u64,
+    /// Cumulative flits received across boundaries (monotone).
+    recv_flits: u64,
+    stats: NetworkStats,
+
+    // Boundary routing tables, all indexed by global port (`node * 5 + d`).
+    /// Output port → hand-off channel (`NO_CHAN` = local or edge).
+    out_chan: Vec<u32>,
+    /// Output port → the downstream input port a boundary flit lands in.
+    out_dst_port: Vec<u32>,
+    /// Output port → mirrored free space of the remote downstream FIFO.
+    mirror_space: Vec<u32>,
+    /// Input port → channel credits return on (`NO_CHAN` = locally fed).
+    in_credit_chan: Vec<u32>,
+    /// Input port → the upstream output port named in credit messages.
+    in_src_port: Vec<u32>,
+    /// Input port → packed (slot, gen) of the packet currently streaming in
+    /// across this boundary link (`NO_XFER` = none). Wormhole switching
+    /// keeps each link's header..tail contiguous, so one cell per port
+    /// suffices to rewrite body flits onto the local slab.
+    link_slot: Vec<u64>,
+
+    /// Hand-off channels this region consumes, ascending peer order.
+    in_list: Vec<u32>,
+    /// Channel id → local outbox buffer (dense over all channels).
+    outbox_slot: Vec<u32>,
+    /// Per-out-channel send buffers, flushed once per cycle per channel.
+    outbox: Vec<(u32, Vec<BoundaryMsg>)>,
+
+    // Scratch (allocated once, reused every cycle).
+    moves: Vec<(u32, u8, u8)>,
+    moved: Vec<(SimFlit, u32, u8)>,
+    ejected: Vec<SimFlit>,
+    /// Deliveries of the current batch, keyed (cycle, destination node).
+    deliveries: Vec<(u64, u32, Delivery)>,
+}
+
+#[inline]
+const fn pack_node(n: NodeId) -> u32 {
+    (n.x as u32) << 16 | n.y as u32
+}
+
+#[inline]
+const fn unpack_node(v: u32) -> NodeId {
+    NodeId::new((v >> 16) as u16, (v & 0xFFFF) as u16)
+}
+
+impl Region {
+    // ---- dense FIFO helpers (SoA) -------------------------------------
+
+    #[inline]
+    fn fifo_space(&self, p: usize) -> usize {
+        self.fifo_depth - self.fifo_len[p] as usize
+    }
+
+    /// Route-relevant view of the head flit: (is_head, dst, class).
+    #[inline]
+    fn fifo_front_route(&self, p: usize) -> Option<(bool, NodeId, u8)> {
+        if self.fifo_len[p] == 0 {
+            return None;
+        }
+        let i = p * self.fifo_depth + self.fifo_head[p] as usize;
+        Some((
+            self.f_seq[i] == 0,
+            unpack_node(self.f_dst[i]),
+            self.f_flags[i] >> 1,
+        ))
+    }
+
+    #[inline]
+    fn fifo_push(&mut self, p: usize, flit: SimFlit) {
+        debug_assert!(self.fifo_space(p) > 0, "input fifo overflow at port {p}");
+        let pos = (self.fifo_head[p] as usize + self.fifo_len[p] as usize) % self.fifo_depth;
+        let i = p * self.fifo_depth + pos;
+        self.f_slot[i] = flit.slot;
+        self.f_gen[i] = flit.gen;
+        self.f_seq[i] = flit.seq;
+        self.f_dst[i] = pack_node(flit.dst);
+        self.f_flags[i] = u8::from(flit.tail) | (flit.class << 1);
+        self.fifo_len[p] += 1;
+    }
+
+    #[inline]
+    fn fifo_pop(&mut self, p: usize) -> SimFlit {
+        debug_assert!(self.fifo_len[p] > 0, "pop from empty fifo at port {p}");
+        let i = p * self.fifo_depth + self.fifo_head[p] as usize;
+        let flit = SimFlit {
+            slot: self.f_slot[i],
+            gen: self.f_gen[i],
+            seq: self.f_seq[i],
+            tail: self.f_flags[i] & 1 == 1,
+            dst: unpack_node(self.f_dst[i]),
+            class: self.f_flags[i] >> 1,
+        };
+        self.fifo_head[p] = ((self.fifo_head[p] as usize + 1) % self.fifo_depth) as u32;
+        self.fifo_len[p] -= 1;
+        flit
+    }
+
+    #[inline]
+    fn add_router_flit(&mut self, node: usize) {
+        if self.router_flits[node] == 0 {
+            set_bit(&mut self.active_routers, node);
+        }
+        self.router_flits[node] += 1;
+    }
+
+    #[inline]
+    fn remove_router_flit(&mut self, node: usize) {
+        self.router_flits[node] -= 1;
+        if self.router_flits[node] == 0 {
+            clear_bit(&mut self.active_routers, node);
+        }
+    }
+
+    /// Replays the reference arbiter for output port `p` (identical to the
+    /// serial engine's `arbitrate`).
+    #[inline]
+    fn arbitrate(&mut self, p: usize, requests: &[bool; 5]) -> Option<usize> {
+        match self.arbiter {
+            ArbiterKind::RoundRobin => {
+                let start = self.rr_next[p] as usize;
+                for offset in 0..5 {
+                    let idx = (start + offset) % 5;
+                    if requests[idx] {
+                        self.rr_next[p] = ((idx + 1) % 5) as u8;
+                        return Some(idx);
+                    }
+                }
+                None
+            }
+            ArbiterKind::FixedPriority => requests.iter().position(|&r| r),
+        }
+    }
+
+    // ---- boundary integration -----------------------------------------
+
+    /// Slab-allocates a record slot (free-list reuse).
+    fn alloc_slot(&mut self) -> u32 {
+        match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.slab.push(RSlot { gen: 0, live: None });
+                (self.slab.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Frees the record slot, bumping its generation.
+    fn free_slot(&mut self, slot: usize) {
+        self.slab[slot].gen = self.slab[slot].gen.wrapping_add(1);
+        self.free_slots.push(slot as u32);
+    }
+
+    /// Integrates every boundary message sent strictly before cycle `t`, in
+    /// fixed (peer-region, queue-FIFO) order. With the barrier bounding
+    /// producer lead to one cycle, the set drained here is exactly the
+    /// messages of cycle `t - 1` — the conservative lookahead window.
+    fn integrate(&mut self, t: u64, channels: &[Channel]) {
+        for li in 0..self.in_list.len() {
+            let chan = self.in_list[li] as usize;
+            // This drain IS the fixed-key merge: only messages with
+            // send_cycle < t leave the queue, the queue itself is per
+            // ordered region pair in producer plan order, and each link
+            // carries at most one flit per cycle.
+            let mut inbox = channels[chan].lock();
+            while inbox.front().is_some_and(|m| m.cycle() < t) {
+                // lint: allow(nondeterminism) — pop is fenced on msg.cycle < t just above
+                if let Some(msg) = inbox.pop_front() {
+                    self.apply_msg(msg);
+                }
+            }
+        }
+    }
+
+    /// Applies one integrated boundary message.
+    fn apply_msg(&mut self, msg: BoundaryMsg) {
+        match msg {
+            BoundaryMsg::Credit { src_port, .. } => {
+                self.mirror_space[src_port as usize] += 1;
+            }
+            BoundaryMsg::Flit {
+                dst_port,
+                mut flit,
+                record,
+                ..
+            } => {
+                let p = dst_port as usize;
+                if let Some(rec) = record {
+                    debug_assert!(flit.is_head(), "record travels with the header");
+                    let slot = self.alloc_slot();
+                    let gen = self.slab[slot as usize].gen;
+                    self.slab[slot as usize].live = Some(rec);
+                    flit.slot = slot;
+                    flit.gen = gen;
+                    self.link_slot[p] = u64::from(slot) << 32 | u64::from(gen);
+                } else {
+                    let packed = self.link_slot[p];
+                    debug_assert_ne!(packed, NO_XFER, "body flit without a header transfer");
+                    flit.slot = (packed >> 32) as u32;
+                    flit.gen = (packed & 0xFFFF_FFFF) as u32;
+                    if flit.tail {
+                        self.link_slot[p] = NO_XFER;
+                    }
+                }
+                let node = p / 5;
+                self.fifo_push(p, flit);
+                self.add_router_flit(node);
+                self.live_flits += 1;
+                self.recv_flits += 1;
+            }
+        }
+    }
+
+    // ---- the per-cycle hot path ---------------------------------------
+
+    /// Plans this cycle's moves for router `idx` (phase 1) — the serial
+    /// engine's planning loop with one change: backpressure toward a
+    /// remote neighbor reads the mirrored credit counter instead of the
+    /// neighbor's FIFO (the two agree cycle-for-cycle, see module docs).
+    // lint: hot-path — per-cycle planning; dense arrays only, no keyed maps
+    fn plan_router(&mut self, idx: usize) {
+        let here = self.mesh.node_at(idx);
+        for out_d in Direction::ALL {
+            let p = idx * 5 + out_d.index();
+            let lock = self.locks[p];
+            let granted: Option<usize> = if lock != NO_LOCK {
+                if self.fifo_len[idx * 5 + lock as usize] > 0 {
+                    Some(lock as usize)
+                } else {
+                    None
+                }
+            } else {
+                let mut requests = [false; 5];
+                let mut classes = [u8::MAX; 5];
+                let mut any = false;
+                let mut best_class = u8::MAX;
+                for in_i in 0..5 {
+                    if let Some((is_head, dst, class)) = self.fifo_front_route(idx * 5 + in_i) {
+                        if is_head && self.mesh.xy_route(here, dst) == out_d {
+                            requests[in_i] = true;
+                            classes[in_i] = class;
+                            best_class = best_class.min(class);
+                            any = true;
+                        }
+                    }
+                }
+                if any {
+                    if self.class_aware {
+                        for i in 0..5 {
+                            if classes[i] != best_class {
+                                requests[i] = false;
+                            }
+                        }
+                    }
+                    self.arbitrate(p, &requests)
+                } else {
+                    None
+                }
+            };
+            let Some(input) = granted else { continue };
+            if self.failed_link_count != 0 && self.failed_links[p] {
+                self.stats.contention_cycles += 1;
+                continue;
+            }
+            let has_space = match self.mesh.neighbor(here, out_d) {
+                Some(next) => {
+                    if self.out_chan[p] == NO_CHAN {
+                        let nidx = self.mesh.index_of(next);
+                        self.fifo_space(nidx * 5 + out_d.opposite().index()) > 0
+                    } else {
+                        self.mirror_space[p] > 0
+                    }
+                }
+                None => out_d == Direction::Local,
+            };
+            if has_space {
+                self.moves
+                    .push((idx as u32, input as u8, out_d.index() as u8));
+            } else {
+                self.stats.contention_cycles += 1;
+            }
+        }
+    }
+
+    /// One cycle of this region at global cycle `t`. The phases mirror the
+    /// serial engine exactly; phase 2 runs as two contiguous batch passes
+    /// (pop + credit, then route/push/send), which commutes with the serial
+    /// interleaving because planning guarantees one pop and at most one
+    /// push per port per cycle.
+    // lint: hot-path — the innermost simulation loop; dense arrays only
+    fn run_cycle(&mut self, t: u64, channels: &[Channel]) {
+        self.integrate(t, channels);
+        if self.live_flits == 0 {
+            return;
+        }
+
+        self.moves.clear();
+        self.moved.clear();
+        self.ejected.clear();
+
+        // Phase 1: plan, ascending router index among active routers.
+        for w in 0..self.active_routers.len() {
+            let mut word = self.active_routers[w];
+            while word != 0 {
+                let idx = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.plan_router(idx);
+            }
+        }
+
+        // Phase 2a: batch-pop every granted flit (contiguous over the SoA
+        // lanes), emit boundary credits, maintain wormhole locks.
+        for m in 0..self.moves.len() {
+            let (idx, input, out_p) = self.moves[m];
+            let idx = idx as usize;
+            let q = idx * 5 + input as usize;
+            let flit = self.fifo_pop(q);
+            if self.in_credit_chan[q] != NO_CHAN {
+                let chan = self.in_credit_chan[q];
+                let src_port = self.in_src_port[q];
+                self.push_boundary(chan, BoundaryMsg::Credit { cycle: t, src_port });
+            }
+            self.remove_router_flit(idx);
+            self.stats.flit_hops += 1;
+            let p = idx * 5 + out_p as usize;
+            if flit.is_head() && !flit.tail {
+                debug_assert_eq!(self.locks[p], NO_LOCK, "double lock at port {p}");
+                self.locks[p] = input;
+            } else if flit.tail && self.locks[p] == input {
+                self.locks[p] = NO_LOCK;
+            }
+            self.moved.push((flit, idx as u32, out_p));
+        }
+
+        // Phase 2b: batch-route — local pushes, boundary sends (one buffer
+        // per channel, flushed below), ejections.
+        for m in 0..self.moved.len() {
+            let (flit, idx, out_p) = self.moved[m];
+            let idx = idx as usize;
+            let out_d = Direction::ALL[out_p as usize];
+            let p = idx * 5 + out_p as usize;
+            match self.mesh.neighbor(self.mesh.node_at(idx), out_d) {
+                Some(next) => {
+                    if self.out_chan[p] == NO_CHAN {
+                        let nidx = self.mesh.index_of(next);
+                        self.fifo_push(nidx * 5 + out_d.opposite().index(), flit);
+                        self.add_router_flit(nidx);
+                    } else {
+                        self.send_flit(t, p, flit);
+                    }
+                }
+                None => {
+                    debug_assert_eq!(out_d, Direction::Local);
+                    self.ejected.push(flit);
+                }
+            }
+        }
+
+        // Phase 3: injection queues feed Local ports, one flit per cycle.
+        for w in 0..self.active_inject.len() {
+            let mut word = self.active_inject[w];
+            while word != 0 {
+                let idx = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let p_local = idx * 5 + Direction::Local.index();
+                if self.fifo_space(p_local) > 0 {
+                    if let Some(flit) = self.injection[idx].pop_front() {
+                        self.fifo_push(p_local, flit);
+                        self.add_router_flit(idx);
+                    }
+                    if self.injection[idx].is_empty() {
+                        clear_bit(&mut self.active_inject, idx);
+                    }
+                }
+            }
+        }
+
+        // Phase 4: reassembly at destinations (delivered_at = t + 1, the
+        // clock value the serial engine has when it reassembles).
+        for e in 0..self.ejected.len() {
+            let flit = self.ejected[e];
+            self.live_flits -= 1;
+            let slot = flit.slot as usize;
+            debug_assert_eq!(
+                self.slab[slot].gen, flit.gen,
+                "ejected flit references a recycled slab slot"
+            );
+            let Some(live) = self.slab[slot].live.as_deref_mut() else {
+                debug_assert!(false, "ejected flit belongs to an in-flight packet");
+                continue;
+            };
+            live.flits_seen += 1;
+            if flit.tail {
+                debug_assert_eq!(live.flits_seen, live.packet.total_flits());
+                self.finish_packet(slot, t);
+            }
+        }
+
+        self.flush_outbox(channels);
+    }
+
+    /// Ships `flit` across the boundary at output port `p`: consumes one
+    /// mirrored credit, and moves the packet record along when the header
+    /// leaves (freeing the local slab slot).
+    fn send_flit(&mut self, t: u64, p: usize, flit: SimFlit) {
+        let chan = self.out_chan[p];
+        debug_assert!(self.mirror_space[p] > 0, "send without credit at port {p}");
+        self.mirror_space[p] -= 1;
+        self.live_flits -= 1;
+        self.sent_flits += 1;
+        let record = if flit.is_head() {
+            let slot = flit.slot as usize;
+            let rec = self.slab[slot].live.take();
+            debug_assert!(rec.is_some(), "header leaves with its record");
+            self.free_slot(slot);
+            rec
+        } else {
+            None
+        };
+        let dst_port = self.out_dst_port[p];
+        self.push_boundary(
+            chan,
+            BoundaryMsg::Flit {
+                cycle: t,
+                dst_port,
+                flit,
+                record,
+            },
+        );
+    }
+
+    #[inline]
+    fn push_boundary(&mut self, chan: u32, msg: BoundaryMsg) {
+        let slot = self.outbox_slot[chan as usize] as usize;
+        self.outbox[slot].1.push(msg);
+    }
+
+    /// Flushes the per-channel send buffers: one lock per channel with
+    /// traffic this cycle.
+    fn flush_outbox(&mut self, channels: &[Channel]) {
+        for (chan, buf) in &mut self.outbox {
+            if buf.is_empty() {
+                continue;
+            }
+            let mut q = channels[*chan as usize].lock();
+            q.extend(buf.drain(..));
+        }
+    }
+
+    /// Retires the packet in `slot` at cycle `t`: accounts the delivery (or
+    /// drop) and records it under the unique merge key (cycle, dst node).
+    fn finish_packet(&mut self, slot: usize, t: u64) {
+        let Some(done) = self.slab[slot].live.take() else {
+            return;
+        };
+        self.free_slot(slot);
+        if done.drop {
+            self.stats.dropped += 1;
+            return;
+        }
+        self.stats.delivered += 1;
+        self.stats.corrupted += u64::from(done.corrupt);
+        let node = self.mesh.index_of(done.packet.dst()) as u32;
+        self.deliveries.push((
+            t,
+            node,
+            Delivery {
+                packet: done.packet,
+                injected_at: done.injected_at,
+                delivered_at: Cycles::new(t + 1),
+                corrupted: done.corrupt,
+            },
+        ));
+    }
+
+    /// Queues a packet at its (owned) source node — the serial engine's
+    /// admission rule verbatim.
+    fn inject_packet(&mut self, packet: Packet, now: Cycles) -> Result<(), NocError> {
+        let src_idx = self.mesh.index_of(packet.src());
+        let total = packet.total_flits() as usize;
+        let q_len = self.injection[src_idx].len();
+        if q_len + total > self.injection_depth.max(total)
+            || (q_len != 0 && q_len + total > self.injection_depth)
+        {
+            return Err(NocError::InjectionQueueFull { node: packet.src() });
+        }
+        let slot = self.alloc_slot();
+        let gen = self.slab[slot as usize].gen;
+        let dst = packet.dst();
+        let class = packet.kind().class();
+        self.slab[slot as usize].live = Some(Box::new(LiveRec {
+            packet,
+            injected_at: now,
+            flits_seen: 0,
+            drop: false,
+            corrupt: false,
+        }));
+        let q = &mut self.injection[src_idx];
+        for seq in 0..total as u32 {
+            q.push_back(SimFlit {
+                slot,
+                gen,
+                seq,
+                tail: seq as usize + 1 == total,
+                dst,
+                class,
+            });
+        }
+        set_bit(&mut self.active_inject, src_idx);
+        self.live_flits += total as u64;
+        Ok(())
+    }
+}
+
+/// The domain-decomposed parallel mesh network. Implements [`NocFabric`]
+/// with observable behavior bit-identical to [`crate::network::Network`]
+/// and [`crate::reference::ReferenceNetwork`] at any region count.
+#[derive(Debug)]
+pub struct ParallelNetwork {
+    mesh: Mesh,
+    map: RegionMap,
+    regions: Vec<Region>,
+    channels: Vec<Channel>,
+    now: Cycles,
+    injected_count: u64,
+    threaded: bool,
+    delivered: Vec<Delivery>,
+    merge: Vec<(u64, u32, Delivery)>,
+}
+
+impl ParallelNetwork {
+    /// Builds the network over a column-stripe decomposition into
+    /// `regions` bands (clamped to the mesh width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidDimensions`] for a zero-sized mesh.
+    pub fn new(config: NetworkConfig, regions: usize) -> Result<Self, NocError> {
+        if config.width == 0 || config.height == 0 {
+            return Err(NocError::InvalidDimensions {
+                width: config.width,
+                height: config.height,
+            });
+        }
+        let mesh = Mesh::new(config.width, config.height);
+        let map = RegionMap::columns(mesh, regions);
+        Self::with_map(config, map)
+    }
+
+    /// Builds the network over an explicit partition. Any [`RegionMap`]
+    /// built for the same mesh geometry is valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidDimensions`] for a zero-sized mesh or a
+    /// map whose node count does not match the configured mesh.
+    pub fn with_map(config: NetworkConfig, map: RegionMap) -> Result<Self, NocError> {
+        if config.width == 0
+            || config.height == 0
+            || map.nodes() != config.width as usize * config.height as usize
+        {
+            return Err(NocError::InvalidDimensions {
+                width: config.width,
+                height: config.height,
+            });
+        }
+        let mesh = Mesh::new(config.width, config.height);
+        let nodes = mesh.nodes();
+        let ports = nodes * 5;
+        let words = nodes.div_ceil(64);
+        let depth = config.fifo_depth.max(1);
+        let nregions = map.region_count();
+
+        // Channel per ordered region pair with any boundary link between
+        // the two (either direction: flits one way need credits the other).
+        let mut adjacent = vec![false; nregions * nregions];
+        for idx in 0..nodes {
+            let here = mesh.node_at(idx);
+            let a = map.region_of_index(idx) as usize;
+            for dir in [
+                Direction::North,
+                Direction::South,
+                Direction::East,
+                Direction::West,
+            ] {
+                if let Some(next) = mesh.neighbor(here, dir) {
+                    let b = map.region_of(mesh, next) as usize;
+                    if a != b {
+                        adjacent[a * nregions + b] = true;
+                        adjacent[b * nregions + a] = true;
+                    }
+                }
+            }
+        }
+        let mut pair_chan = vec![NO_CHAN; nregions * nregions];
+        let mut channels = Vec::new();
+        for a in 0..nregions {
+            for b in 0..nregions {
+                if a != b && adjacent[a * nregions + b] {
+                    pair_chan[a * nregions + b] = channels.len() as u32;
+                    channels.push(Channel::default());
+                }
+            }
+        }
+
+        let mut regions = Vec::with_capacity(nregions);
+        for rid in 0..nregions {
+            let mut out_chan = vec![NO_CHAN; ports];
+            let mut out_dst_port = vec![0u32; ports];
+            let mut mirror_space = vec![0u32; ports];
+            let mut in_credit_chan = vec![NO_CHAN; ports];
+            let mut in_src_port = vec![0u32; ports];
+            for idx in 0..nodes {
+                if map.region_of_index(idx) as usize != rid {
+                    continue;
+                }
+                let here = mesh.node_at(idx);
+                for dir in [
+                    Direction::North,
+                    Direction::South,
+                    Direction::East,
+                    Direction::West,
+                ] {
+                    if let Some(next) = mesh.neighbor(here, dir) {
+                        let peer = map.region_of(mesh, next) as usize;
+                        if peer == rid {
+                            continue;
+                        }
+                        let nidx = mesh.index_of(next);
+                        // Outgoing boundary link: here --dir--> next.
+                        let p = idx * 5 + dir.index();
+                        out_chan[p] = pair_chan[rid * nregions + peer];
+                        out_dst_port[p] = (nidx * 5 + dir.opposite().index()) as u32;
+                        mirror_space[p] = depth as u32;
+                        // Incoming boundary link: next --opposite--> here,
+                        // landing in our input port `dir`.
+                        let q = idx * 5 + dir.index();
+                        in_credit_chan[q] = pair_chan[rid * nregions + peer];
+                        in_src_port[q] = (nidx * 5 + dir.opposite().index()) as u32;
+                    }
+                }
+            }
+            let mut in_list = Vec::new();
+            let mut outbox_slot = vec![NO_CHAN; channels.len()];
+            let mut outbox = Vec::new();
+            for peer in 0..nregions {
+                let inbound = pair_chan[peer * nregions + rid];
+                if inbound != NO_CHAN {
+                    in_list.push(inbound);
+                }
+                let outbound = pair_chan[rid * nregions + peer];
+                if outbound != NO_CHAN {
+                    outbox_slot[outbound as usize] = outbox.len() as u32;
+                    outbox.push((outbound, Vec::new()));
+                }
+            }
+            regions.push(Region {
+                id: rid as u8,
+                mesh,
+                fifo_depth: depth,
+                injection_depth: config.injection_depth,
+                class_aware: config.class_aware,
+                arbiter: config.arbiter,
+                f_slot: vec![0; ports * depth],
+                f_gen: vec![0; ports * depth],
+                f_seq: vec![0; ports * depth],
+                f_dst: vec![0; ports * depth],
+                f_flags: vec![0; ports * depth],
+                fifo_head: vec![0; ports],
+                fifo_len: vec![0; ports],
+                locks: vec![NO_LOCK; ports],
+                rr_next: vec![0; ports],
+                failed_links: vec![false; ports],
+                failed_link_count: 0,
+                injection: (0..nodes).map(|_| VecDeque::new()).collect(),
+                slab: Vec::new(),
+                free_slots: Vec::new(),
+                router_flits: vec![0; nodes],
+                active_routers: vec![0; words],
+                active_inject: vec![0; words],
+                live_flits: 0,
+                sent_flits: 0,
+                recv_flits: 0,
+                stats: NetworkStats::default(),
+                out_chan,
+                out_dst_port,
+                mirror_space,
+                in_credit_chan,
+                in_src_port,
+                link_slot: vec![NO_XFER; ports],
+                in_list,
+                outbox_slot,
+                outbox,
+                moves: Vec::new(),
+                moved: Vec::new(),
+                ejected: Vec::new(),
+                deliveries: Vec::new(),
+            });
+        }
+
+        Ok(Self {
+            mesh,
+            map,
+            regions,
+            channels,
+            now: Cycles::ZERO,
+            injected_count: 0,
+            threaded: true,
+            delivered: Vec::new(),
+            merge: Vec::new(),
+        })
+    }
+
+    /// The mesh geometry.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The partition this network simulates over.
+    pub fn region_map(&self) -> &RegionMap {
+        &self.map
+    }
+
+    /// Number of regions (= worker threads in threaded batches).
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Aggregate statistics (summed over regions).
+    pub fn stats(&self) -> NetworkStats {
+        let mut s = NetworkStats::default();
+        for r in &self.regions {
+            s.delivered += r.stats.delivered;
+            s.flit_hops += r.stats.flit_hops;
+            s.contention_cycles += r.stats.contention_cycles;
+            s.dropped += r.stats.dropped;
+            s.corrupted += r.stats.corrupted;
+        }
+        s
+    }
+
+    /// Number of packets still traversing the fabric.
+    pub fn in_flight(&self) -> usize {
+        let finished: u64 = self
+            .regions
+            .iter()
+            .map(|r| r.stats.delivered + r.stats.dropped)
+            .sum();
+        (self.injected_count - finished) as usize
+    }
+
+    /// All deliveries since construction, in merged (cycle, node) order.
+    pub fn deliveries(&self) -> &[Delivery] {
+        &self.delivered
+    }
+
+    /// Number of currently failed links.
+    pub fn failed_link_count(&self) -> usize {
+        self.regions.iter().map(|r| r.failed_link_count).sum()
+    }
+
+    /// Enables or disables threaded batch execution. Results are identical
+    /// either way (the differential suites assert it); sequential mode
+    /// exists for debugging and for hosts where spawning is not worth it.
+    pub fn set_threaded(&mut self, threaded: bool) {
+        self.threaded = threaded;
+    }
+
+    /// Flits currently anywhere in the fabric: region-resident plus
+    /// in-channel (sent but not yet integrated).
+    fn global_flits(&self) -> u64 {
+        let mut total = 0u64;
+        for r in &self.regions {
+            total = total
+                .wrapping_add(r.live_flits)
+                .wrapping_add(r.sent_flits)
+                .wrapping_sub(r.recv_flits);
+        }
+        total
+    }
+
+    fn checked_index(&self, node: NodeId) -> Result<usize, NocError> {
+        if !self.mesh.contains(node) {
+            return Err(NocError::NodeOutOfRange {
+                node,
+                width: self.mesh.width(),
+                height: self.mesh.height(),
+            });
+        }
+        Ok(self.mesh.index_of(node))
+    }
+
+    /// Queues a packet for injection at its source node (routed to the
+    /// owning region; the admission rule is the serial engine's verbatim).
+    ///
+    /// # Errors
+    ///
+    /// * [`NocError::NodeOutOfRange`] if source or destination lie outside
+    ///   the mesh.
+    /// * [`NocError::InjectionQueueFull`] if the source NI buffer cannot
+    ///   hold the packet's flits.
+    pub fn inject(&mut self, packet: Packet) -> Result<(), NocError> {
+        for node in [packet.src(), packet.dst()] {
+            if !self.mesh.contains(node) {
+                return Err(NocError::NodeOutOfRange {
+                    node,
+                    width: self.mesh.width(),
+                    height: self.mesh.height(),
+                });
+            }
+        }
+        let rid = self.map.region_of(self.mesh, packet.src()) as usize;
+        let now = self.now;
+        self.regions[rid].inject_packet(packet, now)?;
+        self.injected_count += 1;
+        Ok(())
+    }
+
+    /// Fails the outgoing link of `node` towards `out` (owned by `node`'s
+    /// region — only upstream planning reads link state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] if `node` is outside the mesh.
+    pub fn fail_link(&mut self, node: NodeId, out: Direction) -> Result<(), NocError> {
+        let idx = self.checked_index(node)?;
+        let rid = self.map.region_of_index(idx) as usize;
+        let p = idx * 5 + out.index();
+        let region = &mut self.regions[rid];
+        if !region.failed_links[p] {
+            region.failed_links[p] = true;
+            region.failed_link_count += 1;
+        }
+        Ok(())
+    }
+
+    /// Restores a previously failed link (no-op if it was not failed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] if `node` is outside the mesh.
+    pub fn restore_link(&mut self, node: NodeId, out: Direction) -> Result<(), NocError> {
+        let idx = self.checked_index(node)?;
+        let rid = self.map.region_of_index(idx) as usize;
+        let p = idx * 5 + out.index();
+        let region = &mut self.regions[rid];
+        if region.failed_links[p] {
+            region.failed_links[p] = false;
+            region.failed_link_count -= 1;
+        }
+        Ok(())
+    }
+
+    /// Finds the in-flight record of `id` — in a region slab or mid-flight
+    /// inside a hand-off queue — and applies `f` to it.
+    fn mark_packet(&mut self, id: u64, f: impl Fn(&mut LiveRec)) -> Result<(), NocError> {
+        for region in &mut self.regions {
+            let hit = region
+                .slab
+                .iter_mut()
+                .find_map(|s| s.live.as_deref_mut().filter(|l| l.packet.id() == id));
+            if let Some(live) = hit {
+                f(live);
+                return Ok(());
+            }
+        }
+        for chan in &self.channels {
+            let mut q = chan.lock();
+            for msg in q.iter_mut() {
+                if let BoundaryMsg::Flit {
+                    record: Some(rec), ..
+                } = msg
+                {
+                    if rec.packet.id() == id {
+                        f(rec);
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        Err(NocError::UnknownPacket { id })
+    }
+
+    /// Marks an in-flight packet to be discarded at ejection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::UnknownPacket`] if `id` is not in flight.
+    pub fn drop_packet(&mut self, id: u64) -> Result<(), NocError> {
+        self.mark_packet(id, |live| live.drop = true)
+    }
+
+    /// Marks an in-flight packet to arrive with its corruption flag set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::UnknownPacket`] if `id` is not in flight.
+    pub fn corrupt_packet(&mut self, id: u64) -> Result<(), NocError> {
+        self.mark_packet(id, |live| live.corrupt = true)
+    }
+
+    // ---- batch drivers -------------------------------------------------
+
+    /// Runs one batch of up to `cycles` cycles, stopping after the first
+    /// cycle that leaves the fabric globally idle. Returns cycles run.
+    fn run_batch(&mut self, cycles: u64, out: &mut Vec<Delivery>) -> u64 {
+        if cycles == 0 {
+            return 0;
+        }
+        let use_threads = self.threaded && self.regions.len() > 1 && cycles >= PAR_BATCH_MIN;
+        let ran = if use_threads {
+            self.run_batch_threaded(cycles)
+        } else {
+            self.run_batch_sequential(cycles)
+        };
+        self.now += Cycles::new(ran);
+        self.collect(out);
+        ran
+    }
+
+    /// Sequential driver: regions in ascending id order within each cycle.
+    /// Identical to the threaded driver by the `send_cycle < t` drain rule
+    /// (messages of cycle `t` are invisible until `t + 1` either way).
+    fn run_batch_sequential(&mut self, cycles: u64) -> u64 {
+        let base = self.now.raw();
+        let mut ran = 0u64;
+        while ran < cycles {
+            let t = base + ran;
+            for region in &mut self.regions {
+                region.run_cycle(t, &self.channels);
+            }
+            ran += 1;
+            if self.global_flits() == 0 {
+                break;
+            }
+        }
+        ran
+    }
+
+    /// Threaded driver: one scoped worker per region, barrier per cycle.
+    fn run_batch_threaded(&mut self, cycles: u64) -> u64 {
+        let base = self.now.raw();
+        let sync = EpochSync::new(self.regions.len());
+        let channels: &[Channel] = &self.channels;
+        let mut ran = cycles;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.regions.len());
+            for region in &mut self.regions {
+                let sync_ref = &sync;
+                handles.push(scope.spawn(move || {
+                    let mut done = 0u64;
+                    while done < cycles {
+                        let t = base + done;
+                        region.run_cycle(t, channels);
+                        sync_ref.publish(
+                            region.id as usize,
+                            region.live_flits,
+                            region.sent_flits,
+                            region.recv_flits,
+                        );
+                        done += 1;
+                        let gen = sync_ref.arrive(done == cycles);
+                        if sync_ref.stopped_at(gen) {
+                            break;
+                        }
+                    }
+                    done
+                }));
+            }
+            for handle in handles {
+                match handle.join() {
+                    // Every worker exits at the same barrier generation, so
+                    // all return the same cycle count.
+                    Ok(done) => ran = done,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        ran
+    }
+
+    /// Merges this batch's per-region deliveries by the unique key
+    /// (cycle, destination node) — the exact order the serial engine emits.
+    fn collect(&mut self, out: &mut Vec<Delivery>) {
+        self.merge.clear();
+        for region in &mut self.regions {
+            self.merge.append(&mut region.deliveries);
+        }
+        if self.merge.is_empty() {
+            return;
+        }
+        self.merge.sort_unstable_by_key(|entry| (entry.0, entry.1));
+        for (_, _, delivery) in self.merge.drain(..) {
+            out.push(delivery.clone());
+            self.delivered.push(delivery);
+        }
+    }
+
+    /// Advances the fabric one cycle, appending this cycle's deliveries to
+    /// `out` (always the sequential driver — a one-cycle batch).
+    pub fn step_into(&mut self, out: &mut Vec<Delivery>) {
+        self.run_batch(1, out);
+    }
+
+    /// Advances the fabric exactly `cycles` cycles, appending deliveries to
+    /// `out`. Idle gaps are jumped in one clock move.
+    pub fn run_for(&mut self, cycles: u64, out: &mut Vec<Delivery>) {
+        let mut remaining = cycles;
+        while remaining > 0 {
+            if self.global_flits() == 0 {
+                self.now += Cycles::new(remaining);
+                return;
+            }
+            let ran = self.run_batch(remaining.min(BATCH_MAX), out);
+            remaining -= ran;
+        }
+    }
+
+    /// Steps until no packet is in flight or `max_cycles` elapse, appending
+    /// deliveries to `out`.
+    pub fn run_until_idle_into(&mut self, max_cycles: u64, out: &mut Vec<Delivery>) {
+        let mut remaining = max_cycles;
+        while remaining > 0 && self.in_flight() > 0 {
+            let ran = self.run_batch(remaining.min(BATCH_MAX), out);
+            remaining -= ran;
+        }
+    }
+}
+
+impl NocFabric for ParallelNetwork {
+    fn mesh(&self) -> Mesh {
+        ParallelNetwork::mesh(self)
+    }
+
+    fn now(&self) -> Cycles {
+        ParallelNetwork::now(self)
+    }
+
+    fn stats(&self) -> NetworkStats {
+        ParallelNetwork::stats(self)
+    }
+
+    fn in_flight(&self) -> usize {
+        ParallelNetwork::in_flight(self)
+    }
+
+    fn failed_link_count(&self) -> usize {
+        ParallelNetwork::failed_link_count(self)
+    }
+
+    fn inject(&mut self, packet: Packet) -> Result<(), NocError> {
+        ParallelNetwork::inject(self, packet)
+    }
+
+    fn fail_link(&mut self, node: NodeId, out: Direction) -> Result<(), NocError> {
+        ParallelNetwork::fail_link(self, node, out)
+    }
+
+    fn restore_link(&mut self, node: NodeId, out: Direction) -> Result<(), NocError> {
+        ParallelNetwork::restore_link(self, node, out)
+    }
+
+    fn drop_packet(&mut self, id: u64) -> Result<(), NocError> {
+        ParallelNetwork::drop_packet(self, id)
+    }
+
+    fn corrupt_packet(&mut self, id: u64) -> Result<(), NocError> {
+        ParallelNetwork::corrupt_packet(self, id)
+    }
+
+    fn step_into(&mut self, out: &mut Vec<Delivery>) {
+        ParallelNetwork::step_into(self, out);
+    }
+
+    fn run_until_idle_into(&mut self, max_cycles: u64, out: &mut Vec<Delivery>) {
+        ParallelNetwork::run_until_idle_into(self, max_cycles, out);
+    }
+
+    fn run_for(&mut self, cycles: u64, out: &mut Vec<Delivery>) {
+        ParallelNetwork::run_for(self, cycles, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::packet::PacketKind;
+
+    fn config(w: u16, h: u16) -> NetworkConfig {
+        NetworkConfig::mesh(w, h)
+    }
+
+    fn pnet(w: u16, h: u16, regions: usize) -> ParallelNetwork {
+        ParallelNetwork::new(config(w, h), regions).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_mesh_and_mismatched_map() {
+        assert!(ParallelNetwork::new(config(0, 4), 2).is_err());
+        let map = RegionMap::columns(Mesh::new(3, 3), 2);
+        assert!(ParallelNetwork::with_map(config(4, 4), map).is_err());
+    }
+
+    #[test]
+    fn single_packet_crosses_region_boundaries() {
+        let mut n = pnet(4, 4, 4);
+        n.inject(Packet::request(1, NodeId::new(0, 0), NodeId::new(3, 3), 3).unwrap())
+            .unwrap();
+        let mut out = Vec::new();
+        n.run_until_idle_into(10_000, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].packet.id(), 1);
+        assert_eq!(n.in_flight(), 0);
+        assert_eq!(n.stats().delivered, 1);
+    }
+
+    #[test]
+    fn matches_serial_engine_cycle_for_cycle() {
+        for regions in [1usize, 2, 4] {
+            let mut serial = Network::new(config(4, 4)).unwrap();
+            let mut par = pnet(4, 4, regions);
+            par.set_threaded(false);
+            let mut s_out = Vec::new();
+            let mut p_out = Vec::new();
+            for i in 0..40u64 {
+                let kind = match i % 3 {
+                    0 => PacketKind::IoResponse,
+                    1 => PacketKind::IoRequest,
+                    _ => PacketKind::Memory,
+                };
+                let p = Packet::new(
+                    i + 1,
+                    kind,
+                    NodeId::new((i % 4) as u16, ((i / 4) % 4) as u16),
+                    NodeId::new(((i + 2) % 4) as u16, ((i / 2) % 4) as u16),
+                    1 + (i % 4) as u32,
+                    0,
+                )
+                .unwrap();
+                assert_eq!(serial.inject(p.clone()).is_ok(), par.inject(p).is_ok());
+                serial.step_into(&mut s_out);
+                par.step_into(&mut p_out);
+                assert_eq!(s_out, p_out, "cycle {i}, {regions} regions");
+                assert_eq!(serial.now(), par.now());
+            }
+            serial.run_until_idle_into(100_000, &mut s_out);
+            par.run_until_idle_into(100_000, &mut p_out);
+            assert_eq!(s_out, p_out);
+            assert_eq!(serial.stats(), par.stats());
+            assert_eq!(serial.now(), par.now());
+        }
+    }
+
+    #[test]
+    fn threaded_equals_sequential() {
+        let run = |threaded: bool| {
+            let mut n = pnet(4, 4, 4);
+            n.set_threaded(threaded);
+            for i in 0..60u64 {
+                let _ = n.inject(
+                    Packet::request(
+                        i + 1,
+                        NodeId::new((i % 4) as u16, ((i / 7) % 4) as u16),
+                        NodeId::new(((i + 3) % 4) as u16, ((i / 3) % 4) as u16),
+                        1 + (i % 5) as u32,
+                    )
+                    .unwrap(),
+                );
+            }
+            let mut out = Vec::new();
+            // Large batch so the threaded path actually engages.
+            n.run_for(4 * PAR_BATCH_MIN, &mut out);
+            n.run_until_idle_into(100_000, &mut out);
+            (out, n.stats(), n.now())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn idle_gaps_jump_in_one_move() {
+        let mut n = pnet(4, 4, 4);
+        let mut out = Vec::new();
+        n.run_for(1_000_000, &mut out);
+        assert_eq!(n.now().raw(), 1_000_000);
+        assert!(out.is_empty());
+        n.inject(Packet::request(1, NodeId::new(0, 0), NodeId::new(3, 3), 3).unwrap())
+            .unwrap();
+        n.run_for(50, &mut out);
+        assert_eq!(n.now().raw(), 1_000_050);
+        assert_eq!(out.len(), 1);
+        // Same closed form as the serial engine: 1 NI + 4 flits + 6 hops.
+        assert_eq!(out[0].delivered_at.raw(), 1_000_000 + 4 + 6 + 1);
+    }
+
+    #[test]
+    fn marks_find_packets_inside_handoff_queues() {
+        // Drive a packet right up to a boundary crossing, then mark it:
+        // the record must be found even while it sits in a channel.
+        let mut n = pnet(2, 1, 2);
+        n.set_threaded(false);
+        n.inject(Packet::request(1, NodeId::new(0, 0), NodeId::new(1, 0), 2).unwrap())
+            .unwrap();
+        let mut out = Vec::new();
+        let mut marked_in_channel = false;
+        for _ in 0..20 {
+            n.step_into(&mut out);
+            let in_channel = n.channels.iter().any(|c| {
+                c.lock().iter().any(|m| {
+                    matches!(
+                        m,
+                        BoundaryMsg::Flit {
+                            record: Some(_),
+                            ..
+                        }
+                    )
+                })
+            });
+            if in_channel {
+                n.corrupt_packet(1).unwrap();
+                marked_in_channel = true;
+                break;
+            }
+        }
+        assert!(marked_in_channel, "header crossed a boundary in 20 cycles");
+        n.run_until_idle_into(1_000, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].corrupted);
+        assert_eq!(n.drop_packet(99), Err(NocError::UnknownPacket { id: 99 }));
+    }
+
+    #[test]
+    fn failed_links_stall_across_boundaries() {
+        let mut n = pnet(3, 1, 3);
+        n.set_threaded(false);
+        n.inject(Packet::request(1, NodeId::new(0, 0), NodeId::new(2, 0), 2).unwrap())
+            .unwrap();
+        n.fail_link(NodeId::new(1, 0), Direction::East).unwrap();
+        assert_eq!(n.failed_link_count(), 1);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            n.step_into(&mut out);
+        }
+        assert_eq!(n.in_flight(), 1);
+        assert!(out.is_empty());
+        assert!(n.stats().contention_cycles > 0);
+        n.restore_link(NodeId::new(1, 0), Direction::East).unwrap();
+        n.run_until_idle_into(1_000, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}
