@@ -159,6 +159,7 @@ where
         EngineStats {
             tasks: items.len() as u64,
             workers,
+            // lint: allow(relaxed-ordering) — monotonic steal counter read after all workers joined; no ordering carries data
             steals: steals.load(Ordering::Relaxed),
             task_seconds,
         },
@@ -217,6 +218,7 @@ fn next_task(w: usize, deques: &[Mutex<VecDeque<usize>>], steals: &AtomicU64) ->
         if stolen.is_empty() {
             continue;
         }
+        // lint: allow(relaxed-ordering) — statistics-only counter; the deque mutexes order the stolen tasks themselves
         steals.fetch_add(1, Ordering::Relaxed);
         let mut own = deques[w].lock().expect("engine deque");
         *own = stolen;

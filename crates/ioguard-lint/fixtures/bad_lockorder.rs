@@ -1,0 +1,31 @@
+//! Seeded lint fixture: MUST trip `lock-order`.
+//!
+//! `forward` takes alpha then beta; `reverse` takes beta then alpha. Two
+//! threads running them concurrently can each hold one mutex while waiting
+//! for the other — the classic AB/BA deadlock the workspace rule exists to
+//! prevent.
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+/// Two counters guarded by independent mutexes.
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    /// Sums in alpha→beta order.
+    pub fn forward(&self) -> u64 {
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        a.wrapping_add(*b)
+    }
+
+    /// Sums in beta→alpha order — inconsistent with `forward`.
+    pub fn reverse(&self) -> u64 {
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        b.wrapping_add(*a)
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod faultplan;
 pub mod fig7;
+pub mod graph;
 pub mod model;
 pub mod rules;
 pub mod scan;
@@ -42,9 +43,22 @@ pub const MODEL_EXT: &str = "model";
 pub const FAULT_EXT: &str = "fault";
 
 /// Lints every workspace crate under `root/crates` with its crate-scoped
-/// rule set, including the `#![forbid(unsafe_code)]` crate-root check.
+/// rule set, including the `#![forbid(unsafe_code)]` crate-root check and
+/// the workspace-wide concurrency pass ([`graph::check_concurrency`]).
 /// Returns the violations and the number of files scanned.
 pub fn check_workspace(root: &Path) -> Result<(Vec<Violation>, usize), String> {
+    check_workspace_threaded(root, 1)
+}
+
+/// [`check_workspace`] with per-file scanning spread over the
+/// work-stealing engine. Per-file results are scattered back in the sorted
+/// (crate, path) work-list order and the concurrency pass runs once over
+/// the merged model, so the violation list is identical at any thread
+/// count.
+pub fn check_workspace_threaded(
+    root: &Path,
+    threads: usize,
+) -> Result<(Vec<Violation>, usize), String> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)
         .map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?
@@ -55,9 +69,10 @@ pub fn check_workspace(root: &Path) -> Result<(Vec<Violation>, usize), String> {
     if crate_dirs.is_empty() {
         return Err(format!("no crates under {}", crates_dir.display()));
     }
-    let mut violations = Vec::new();
-    let mut scanned = 0usize;
-    for dir in crate_dirs {
+    // Work list: (rules, path, is-crate-root) per file, in deterministic
+    // (crate, path) order.
+    let mut jobs: Vec<(RuleSet, std::path::PathBuf, bool)> = Vec::new();
+    for dir in &crate_dirs {
         let name = dir
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
@@ -66,12 +81,32 @@ pub fn check_workspace(root: &Path) -> Result<(Vec<Violation>, usize), String> {
         if !src.is_dir() {
             continue;
         }
-        scanned += rules::lint_tree(&src, RuleSet::for_crate(&name), &mut violations)?;
-        let lib = src.join("lib.rs");
-        if lib.is_file() {
-            rules::check_forbid_unsafe(&SourceFile::load(&lib)?, &mut violations);
+        let rules = RuleSet::for_crate(&name);
+        for path in rules::collect_rs_files(&src)? {
+            let is_root = path == src.join("lib.rs");
+            jobs.push((rules, path, is_root));
         }
     }
+    let (results, _) = ioguard_core::engine::run_indexed(threads, &jobs, |_, job| {
+        let (rules, path, is_root) = job;
+        SourceFile::load(path).map(|file| {
+            let mut v = Vec::new();
+            rules::lint_file(&file, *rules, &mut v);
+            if *is_root {
+                rules::check_forbid_unsafe(&file, &mut v);
+            }
+            (file, v)
+        })
+    });
+    let mut violations = Vec::new();
+    let mut files = Vec::with_capacity(results.len());
+    for r in results {
+        let (file, v) = r?;
+        violations.extend(v);
+        files.push(file);
+    }
+    let scanned = files.len();
+    violations.extend(graph::check_concurrency(&files));
     Ok((violations, scanned))
 }
 
@@ -86,15 +121,18 @@ pub fn check_fig7() -> Result<Vec<Violation>, String> {
 }
 
 /// Checks explicit paths (fixture mode): `.rs` files get every source rule
-/// regardless of crate scope, `.model` files are parsed and verified, and
+/// regardless of crate scope plus the concurrency pass (one model over all
+/// listed `.rs` files), `.model` files are parsed and verified, and
 /// `.fault` chaos fixtures go through the fault-plan verifier.
 pub fn check_paths(paths: &[&Path]) -> Result<Vec<Violation>, String> {
     let mut violations = Vec::new();
+    let mut sources: Vec<SourceFile> = Vec::new();
     for path in paths {
         match path.extension().and_then(|e| e.to_str()) {
             Some("rs") => {
                 let file = SourceFile::load(path)?;
                 rules::lint_file(&file, RuleSet::all(), &mut violations);
+                sources.push(file);
             }
             Some(ext) if ext == MODEL_EXT => match SystemModel::load(path) {
                 Ok(model) => violations.extend(ConfigVerifier::verify(&model)),
@@ -111,5 +149,6 @@ pub fn check_paths(paths: &[&Path]) -> Result<Vec<Violation>, String> {
             }
         }
     }
+    violations.extend(graph::check_concurrency(&sources));
     Ok(violations)
 }

@@ -3,10 +3,16 @@
 //! ```text
 //! cargo run -p ioguard-lint -- check                 # workspace + Fig. 7 models
 //! cargo run -p ioguard-lint -- check --root <dir>    # explicit workspace root
+//! cargo run -p ioguard-lint -- check --json          # one JSON object per line
+//! cargo run -p ioguard-lint -- check --threads 8     # engine-parallel scan
 //! cargo run -p ioguard-lint -- check a.rs b.model    # fixture mode: all rules
 //! ```
 //!
 //! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+//! `--json` prints violations to stdout with a stable field order
+//! (`path`, `line`, `rule`, `message`), one per line, and suppresses the
+//! human-readable progress text — byte-identical across runs at any
+//! `--threads` value.
 
 #![forbid(unsafe_code)]
 
@@ -17,16 +23,23 @@ use ioguard_lint::rules::Violation;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
     match run(&args) {
         Ok(violations) if violations.is_empty() => {
-            println!("ioguard-lint: clean");
+            if !json {
+                println!("ioguard-lint: clean");
+            }
             ExitCode::SUCCESS
         }
         Ok(violations) => {
-            for v in &violations {
-                eprintln!("{v}");
+            if json {
+                print!("{}", ioguard_lint::rules::render_json(&violations));
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("ioguard-lint: {} violation(s)", violations.len());
             }
-            eprintln!("ioguard-lint: {} violation(s)", violations.len());
             ExitCode::FAILURE
         }
         Err(msg) => {
@@ -41,14 +54,27 @@ fn run(args: &[String]) -> Result<Vec<Violation>, String> {
     match it.next().map(String::as_str) {
         Some("check") => {}
         Some(other) => return Err(format!("unknown command `{other}` (try `check`)")),
-        None => return Err("usage: ioguard-lint check [--root DIR] [paths…]".into()),
+        None => {
+            return Err(
+                "usage: ioguard-lint check [--root DIR] [--json] [--threads N] [paths…]".into(),
+            )
+        }
     }
     let mut root: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
+    let mut json = false;
+    let mut threads = 1usize;
     while let Some(arg) = it.next() {
         if arg == "--root" {
             let dir = it.next().ok_or("--root requires a directory")?;
             root = Some(PathBuf::from(dir));
+        } else if arg == "--json" {
+            json = true;
+        } else if arg == "--threads" {
+            let n = it.next().ok_or("--threads requires a count")?;
+            threads = n
+                .parse()
+                .map_err(|_| format!("--threads: invalid count `{n}`"))?;
         } else {
             paths.push(PathBuf::from(arg));
         }
@@ -61,13 +87,17 @@ fn run(args: &[String]) -> Result<Vec<Violation>, String> {
 
     // Workspace mode: source lints over crates/, then the Fig. 7 models.
     let root = root.unwrap_or_else(default_root);
-    let (mut violations, scanned) = ioguard_lint::check_workspace(&root)?;
-    println!(
-        "ioguard-lint: scanned {scanned} source files under {}",
-        root.join("crates").display()
-    );
+    let (mut violations, scanned) = ioguard_lint::check_workspace_threaded(&root, threads)?;
+    if !json {
+        println!(
+            "ioguard-lint: scanned {scanned} source files under {}",
+            root.join("crates").display()
+        );
+    }
     violations.extend(ioguard_lint::check_fig7()?);
-    println!("ioguard-lint: verified Fig. 7 experiment configurations");
+    if !json {
+        println!("ioguard-lint: verified Fig. 7 experiment configurations");
+    }
     Ok(violations)
 }
 

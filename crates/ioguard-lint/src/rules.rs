@@ -33,6 +33,18 @@ pub mod rule {
     pub const FORBID_UNSAFE: &str = "forbid-unsafe";
     /// An allow directive without the mandatory justification text.
     pub const MISSING_JUSTIFICATION: &str = "missing-justification";
+    /// A cycle in the workspace lock-acquisition graph (closed over calls):
+    /// two threads taking the same mutexes in opposite orders can deadlock.
+    pub const LOCK_ORDER: &str = "lock-order";
+    /// A mutex guard still live across an `EpochSync`/barrier wait — the
+    /// peer region blocks on the mutex while this thread blocks on the
+    /// barrier.
+    pub const LOCK_ACROSS_BARRIER: &str = "lock-across-barrier";
+    /// `Ordering::Relaxed` (or an unpaired `Acquire`/`Release`) on an atomic
+    /// field that other region threads also write.
+    pub const RELAXED_ORDERING: &str = "relaxed-ordering";
+    /// A lock/park/sleep/join reachable from a `// lint: hot-path` function.
+    pub const BLOCKING_IN_HOT_PATH: &str = "blocking-in-hot-path";
 }
 
 /// One reported violation.
@@ -369,8 +381,31 @@ fn mentions_handoff_vocab(text: &str) -> bool {
 /// drain filters on an explicit merge key — in which case the site
 /// documents that with a `lint: allow(nondeterminism)` justification.
 fn check_handoff_drain(file: &SourceFile, line: &LineInfo, out: &mut Vec<Violation>) {
-    let code = &line.code;
-    let mut flagged: Option<&str> = None;
+    let Some(token) = find_handoff_drain(&line.code) else {
+        return;
+    };
+    if file.allow_for(rule::NONDETERMINISM, line).is_some() {
+        return;
+    }
+    out.push(Violation {
+        rule: rule::NONDETERMINISM,
+        path: file.path.clone(),
+        line: line.number,
+        message: format!(
+            "`{}` drains a cross-thread hand-off queue in arrival order — \
+             filter on an explicit (cycle, link) merge key, or justify with \
+             lint: allow(nondeterminism)",
+            token.trim_matches(|c| c == '.' || c == '(')
+        ),
+    });
+}
+
+/// The last hand-off-queue drain accessor on the line, if any: a
+/// [`HANDOFF_DRAIN_TOKENS`] accessor whose receiver expression mentions the
+/// [`HANDOFF_VOCAB`]. Shared with the interprocedural summaries in
+/// [`crate::graph`].
+pub(crate) fn find_handoff_drain(code: &str) -> Option<&'static str> {
+    let mut flagged: Option<&'static str> = None;
     for token in HANDOFF_DRAIN_TOKENS {
         let mut start = 0;
         while let Some(pos) = code[start..].find(token) {
@@ -393,27 +428,13 @@ fn check_handoff_drain(file: &SourceFile, line: &LineInfo, out: &mut Vec<Violati
             start = at + token.len();
         }
     }
-    let Some(token) = flagged else { return };
-    if file.allow_for(rule::NONDETERMINISM, line).is_some() {
-        return;
-    }
-    out.push(Violation {
-        rule: rule::NONDETERMINISM,
-        path: file.path.clone(),
-        line: line.number,
-        message: format!(
-            "`{}` drains a cross-thread hand-off queue in arrival order — \
-             filter on an explicit (cycle, link) merge key, or justify with \
-             lint: allow(nondeterminism)",
-            token.trim_matches(|c| c == '.' || c == '(')
-        ),
-    });
+    flagged
 }
 
 /// Token containment with identifier-boundary checks on both sides, so
 /// `HashMap` does not match `MyHashMapLike` and `panic!` does not match
 /// `dont_panic!`.
-fn contains_token(code: &str, token: &str) -> bool {
+pub(crate) fn contains_token(code: &str, token: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = code[start..].find(token) {
         let at = start + pos;
@@ -435,7 +456,7 @@ fn contains_token(code: &str, token: &str) -> bool {
     false
 }
 
-fn is_ident_char(c: char) -> bool {
+pub(crate) fn is_ident_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_'
 }
 
@@ -610,9 +631,10 @@ pub fn check_forbid_unsafe(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
-/// Lints every `.rs` file under `dir` (recursively) with `rules`.
-pub fn lint_tree(dir: &Path, rules: RuleSet, out: &mut Vec<Violation>) -> Result<usize, String> {
-    let mut scanned = 0usize;
+/// Every `.rs` file under `dir` (recursively), sorted by path — the
+/// deterministic work-list both the sequential and the engine-parallel
+/// scans share.
+pub fn collect_rs_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     let mut stack = vec![dir.to_path_buf()];
     let mut files: Vec<PathBuf> = Vec::new();
     while let Some(d) = stack.pop() {
@@ -640,12 +662,74 @@ pub fn lint_tree(dir: &Path, rules: RuleSet, out: &mut Vec<Violation>) -> Result
         }
     }
     files.sort();
-    for path in files {
-        let file = SourceFile::load(&path)?;
-        lint_file(&file, rules, out);
-        scanned += 1;
+    Ok(files)
+}
+
+/// Lints every `.rs` file under `dir` (recursively) with `rules`.
+pub fn lint_tree(dir: &Path, rules: RuleSet, out: &mut Vec<Violation>) -> Result<usize, String> {
+    lint_tree_threaded(dir, rules, 1, out)
+}
+
+/// [`lint_tree`] with file scanning spread over the work-stealing engine.
+/// Results are scattered back in work-list (path) order before merging, so
+/// the violation list is identical at any thread count.
+pub fn lint_tree_threaded(
+    dir: &Path,
+    rules: RuleSet,
+    threads: usize,
+    out: &mut Vec<Violation>,
+) -> Result<usize, String> {
+    let files = collect_rs_files(dir)?;
+    let (results, _) = ioguard_core::engine::run_indexed(threads, &files, |_, path| {
+        SourceFile::load(path).map(|file| {
+            let mut v = Vec::new();
+            lint_file(&file, rules, &mut v);
+            v
+        })
+    });
+    let scanned = results.len();
+    for r in results {
+        out.extend(r?);
     }
     Ok(scanned)
+}
+
+/// Renders violations as machine-readable JSON lines: one object per
+/// violation, fields in a fixed order (`path`, `line`, `rule`, `message`),
+/// no trailing spaces — byte-identical across runs and thread counts.
+pub fn render_json(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        out.push_str("{\"path\":");
+        json_string(&v.path.display().to_string(), &mut out);
+        out.push_str(",\"line\":");
+        out.push_str(&v.line.to_string());
+        out.push_str(",\"rule\":");
+        json_string(v.rule, &mut out);
+        out.push_str(",\"message\":");
+        json_string(&v.message, &mut out);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]

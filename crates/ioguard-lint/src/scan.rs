@@ -30,6 +30,11 @@ use std::path::{Path, PathBuf};
 /// treated as missing: the policy requires a real explanation, not "ok".
 pub const MIN_JUSTIFICATION: usize = 10;
 
+/// Minimum number of alphanumeric characters a justification must contain.
+/// Length alone is not enough: `----------` pads past [`MIN_JUSTIFICATION`]
+/// without saying anything.
+pub const MIN_JUSTIFICATION_ALNUM: usize = 8;
+
 /// One allowlist directive extracted from a comment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allow {
@@ -44,9 +49,12 @@ pub struct Allow {
 }
 
 impl Allow {
-    /// True when the justification satisfies the policy.
+    /// True when the justification satisfies the policy: long enough AND
+    /// composed of actual words, not punctuation/whitespace padding.
     pub fn justified(&self) -> bool {
-        self.justification.trim().len() >= MIN_JUSTIFICATION
+        let t = self.justification.trim();
+        t.len() >= MIN_JUSTIFICATION
+            && t.chars().filter(|c| c.is_alphanumeric()).count() >= MIN_JUSTIFICATION_ALNUM
     }
 }
 
@@ -301,14 +309,35 @@ fn strip(text: &str) -> Vec<(String, String)> {
                     state = State::RawStr(hashes);
                     i += 2 + hashes; // r, hashes, opening quote
                 }
+                // Byte raw strings `br"..."` / `br#"..."#` have NO escape
+                // processing — they must take the RawStr path, not Str, or a
+                // trailing `\` in the content swallows the closing quote.
+                ('b', Some('r')) if !prev_is_ident(&chars, i) && raw_quote_after(&chars, i + 1) => {
+                    let hashes = count_hashes(&chars, i + 2);
+                    code.push('"');
+                    state = State::RawStr(hashes);
+                    i += 3 + hashes; // b, r, hashes, opening quote
+                }
                 ('\'', _) => {
                     // Distinguish lifetimes from char literals: a lifetime is
                     // `'ident` NOT followed by a closing quote.
                     let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
                         && chars.get(i + 2).copied() != Some('\'');
                     if is_lifetime {
+                        // Consume the whole lifetime name: its identifier
+                        // chars must not re-enter the normal state, where a
+                        // leading `r`/`br` would read as a raw-string prefix
+                        // (`'r"…"` is a lifetime then a plain string).
                         code.push('\'');
                         i += 1;
+                        while chars
+                            .get(i)
+                            .copied()
+                            .is_some_and(|ch| ch.is_alphanumeric() || ch == '_')
+                        {
+                            code.push(chars[i]);
+                            i += 1;
+                        }
                     } else {
                         code.push('\'');
                         state = State::Char;
@@ -327,6 +356,11 @@ fn strip(text: &str) -> Vec<(String, String)> {
             State::BlockComment(d) => match (c, next) {
                 ('*', Some('/')) => {
                     state = if d == 1 {
+                        // One space marks the removed comment, so the code
+                        // on either side cannot splice into a new token
+                        // (`un/*…*/safe`, or a lifetime meeting a quote) —
+                        // which also makes stripping idempotent.
+                        code.push(' ');
                         State::Normal
                     } else {
                         State::BlockComment(d - 1)
@@ -379,12 +413,21 @@ fn strip(text: &str) -> Vec<(String, String)> {
 
 fn is_raw_string_start(chars: &[char], i: usize) -> bool {
     // `r"..."` or `r#..#"..."#..#` — but NOT an identifier like `raw`.
-    if i > 0 {
+    !prev_is_ident(chars, i) && raw_quote_after(chars, i)
+}
+
+/// True when the character before `i` continues an identifier, i.e. the
+/// `r`/`b` at `i` is the tail of a name like `raw` rather than a prefix.
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && {
         let prev = chars[i - 1];
-        if prev.is_alphanumeric() || prev == '_' {
-            return false;
-        }
+        prev.is_alphanumeric() || prev == '_'
     }
+}
+
+/// True when position `i` is followed by zero or more `#` and then `"` —
+/// the hash-run/opening-quote shape shared by `r`- and `br`-prefixed raws.
+fn raw_quote_after(chars: &[char], i: usize) -> bool {
     let mut j = i + 1;
     while chars.get(j).copied() == Some('#') {
         j += 1;
@@ -457,7 +500,10 @@ mod tests {
     #[test]
     fn strips_nested_block_comments() {
         let f = parse("a /* x /* y */ z */ b\n");
-        assert_eq!(f.lines[0].code.trim(), "a  b");
+        assert_eq!(
+            f.lines[0].code.split_whitespace().collect::<Vec<_>>(),
+            ["a", "b"]
+        );
     }
 
     #[test]
@@ -481,6 +527,45 @@ mod tests {
         let f = parse("let s = \"a\\\"b.unwrap()\"; x\n");
         assert!(!f.lines[0].code.contains("unwrap"));
         assert!(f.lines[0].code.ends_with(" x"));
+    }
+
+    #[test]
+    fn blanks_multi_hash_raw_strings() {
+        // `"#` inside an `r##` raw must not terminate it early.
+        let f = parse("let s = r##\"has \"# inside .unwrap()\"##; tail();\n");
+        let code = &f.lines[0].code;
+        assert!(!code.contains("unwrap"), "content leaked: {code}");
+        assert!(code.contains("tail()"), "code after literal lost: {code}");
+        let g = parse("let s = r###\"x\"## .unwrap() \"###; tail();\n");
+        assert!(!g.lines[0].code.contains("unwrap"));
+        assert!(g.lines[0].code.contains("tail()"));
+    }
+
+    #[test]
+    fn blanks_byte_strings() {
+        let f = parse("let s = b\"call .unwrap()\"; tail();\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("tail()"));
+    }
+
+    #[test]
+    fn blanks_byte_raw_strings() {
+        // br-raws have no escapes: a trailing backslash is literal content
+        // and must not swallow the closing quote (and the rest of the line).
+        let f = parse("let t = br\"x\\\"; z.unwrap();\n");
+        assert!(!f.lines[0].code.contains('x'), "content leaked");
+        assert!(
+            f.lines[0].code.contains("z.unwrap()"),
+            "code after literal lost: {}",
+            f.lines[0].code
+        );
+        let g = parse("let s = br#\"say \\\" .unwrap()\"#; tail();\n");
+        assert!(!g.lines[0].code.contains("unwrap"));
+        assert!(g.lines[0].code.contains("tail()"));
+        // An identifier ending in `br` followed by generics is untouched.
+        let h = parse("let v = abr\"s\"; keep();\n");
+        assert!(h.lines[0].code.contains("abr"));
+        assert!(h.lines[0].code.contains("keep()"));
     }
 
     #[test]
@@ -570,5 +655,16 @@ mod tests {
         assert!(!f.lines[0].allows[0].justified());
         let g = parse("x.unwrap(); // lint: allow(panic-site) — ok\n");
         assert!(!g.lines[0].allows[0].justified());
+    }
+
+    #[test]
+    fn padding_justification_rejected() {
+        // Long enough, but pure punctuation — not an explanation.
+        let f = parse("x.unwrap(); // lint: allow(panic-site) — -------------\n");
+        assert!(!f.lines[0].allows[0].justified());
+        let g = parse("x.unwrap(); // lint: allow(panic-site) — . . . . . . . .\n");
+        assert!(!g.lines[0].allows[0].justified());
+        let h = parse("x.unwrap(); // lint: allow(panic-site) — checked above\n");
+        assert!(h.lines[0].allows[0].justified());
     }
 }

@@ -6,8 +6,8 @@ use std::path::{Path, PathBuf};
 
 use ioguard_lint::faultplan::fault_rule;
 use ioguard_lint::model::model_rule;
-use ioguard_lint::rules::rule;
-use ioguard_lint::{check_fig7, check_paths, check_workspace};
+use ioguard_lint::rules::{render_json, rule};
+use ioguard_lint::{check_fig7, check_paths, check_workspace, check_workspace_threaded};
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -84,6 +84,94 @@ fn seeded_hotpath_fixture_is_rejected() {
             >= 2,
         "both loop lookups flagged: {violations:?}"
     );
+}
+
+#[test]
+fn seeded_lockorder_fixture_is_rejected() {
+    let path = fixture("bad_lockorder.rs");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == rule::LOCK_ORDER && v.message.contains("alpha")),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn seeded_barrier_fixture_is_rejected() {
+    let path = fixture("bad_barrier.rs");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == rule::LOCK_ACROSS_BARRIER),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn seeded_relaxed_fixture_is_rejected() {
+    let path = fixture("bad_relaxed.rs");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    assert!(
+        violations
+            .iter()
+            .filter(|v| v.rule == rule::RELAXED_ORDERING)
+            .count()
+            >= 2,
+        "both the relaxed store and the unpaired acquire flagged: {violations:?}"
+    );
+}
+
+#[test]
+fn seeded_blocking_fixture_is_rejected() {
+    let path = fixture("bad_blocking.rs");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == rule::BLOCKING_IN_HOT_PATH && v.message.contains("step_cycle")),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn thread_count_does_not_change_the_verdict() {
+    let root = workspace_root();
+    let (seq, seq_scanned) = check_workspace_threaded(&root, 1).expect("sequential scan");
+    let (par, par_scanned) = check_workspace_threaded(&root, 8).expect("parallel scan");
+    assert_eq!(seq_scanned, par_scanned);
+    assert_eq!(
+        seq.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+        par.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+        "violations must come back in the same order at any thread count"
+    );
+    assert_eq!(render_json(&seq), render_json(&par));
+}
+
+#[test]
+fn json_rendering_is_byte_identical_across_runs() {
+    let paths = [
+        fixture("bad_lockorder.rs"),
+        fixture("bad_relaxed.rs"),
+        fixture("bad_blocking.rs"),
+    ];
+    let refs: Vec<&Path> = paths.iter().map(PathBuf::as_path).collect();
+    let a = render_json(&check_paths(&refs).expect("fixtures readable"));
+    let b = render_json(&check_paths(&refs).expect("fixtures readable"));
+    assert!(!a.is_empty());
+    assert_eq!(a.as_bytes(), b.as_bytes());
+    for line in a.lines() {
+        let keys: Vec<usize> = ["\"path\":", "\"line\":", "\"rule\":", "\"message\":"]
+            .iter()
+            .map(|k| line.find(k).expect("stable field present"))
+            .collect();
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "fields in fixed order: {line}"
+        );
+    }
 }
 
 #[test]

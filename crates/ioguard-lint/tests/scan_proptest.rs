@@ -1,0 +1,117 @@
+//! Property tests for the stripped-line scanner.
+//!
+//! Two invariants hold for *any* input, not just well-formed Rust:
+//!
+//! * **Totality** — `SourceFile::parse` never panics and yields
+//!   well-formed line records (1-based, consecutive numbering), whatever
+//!   bytes it is fed. The linter walks every `.rs` file in the workspace;
+//!   a malformed file must produce violations, never a crash.
+//! * **Idempotence** — stripping a file's own stripped output changes
+//!   nothing. Comments are gone after one pass and literal contents are
+//!   blanked, so a second pass must be the identity; any divergence means
+//!   the state machine mis-tracked a literal or comment boundary (exactly
+//!   the class of bug the `br"…"`/multi-hash fixes addressed).
+
+use std::path::Path;
+
+use proptest::prelude::*;
+
+use ioguard_lint::scan::SourceFile;
+
+/// The stripped code column, with trailing empty lines dropped (`strip`
+/// emits a final partial line only when it is non-empty, so a rejoin
+/// cannot preserve trailing blanks).
+fn code_lines(file: &SourceFile) -> Vec<String> {
+    let mut lines: Vec<String> = file.lines.iter().map(|l| l.code.clone()).collect();
+    while lines.last().is_some_and(String::is_empty) {
+        lines.pop();
+    }
+    lines
+}
+
+/// Fragments chosen to land on every scanner state and transition:
+/// string/char openers and closers, raw and byte-raw prefixes at several
+/// hash depths, both comment kinds, escapes, directives and plain tokens.
+const FRAGMENTS: &[&str] = &[
+    "\"",
+    "\\\"",
+    "\\",
+    "r\"",
+    "r#\"",
+    "r##\"",
+    "\"#",
+    "\"##",
+    "b\"",
+    "br\"",
+    "br##\"",
+    "'",
+    "'a",
+    "//",
+    "/*",
+    "*/",
+    "/* lint: allow(panic-site) — soup */",
+    "fn f()",
+    ".unwrap()",
+    "{",
+    "}",
+    ";",
+    "\n",
+    "x",
+    "é",
+    "\t",
+    " ",
+];
+
+/// Adversarial token soup: concatenations of scanner-relevant fragments.
+fn token_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..48).prop_map(|picks| {
+        picks
+            .iter()
+            .map(|&b| FRAGMENTS[b as usize % FRAGMENTS.len()])
+            .collect()
+    })
+}
+
+/// Arbitrary bytes, lossily decoded: exercises non-ASCII and replacement
+/// characters the token soup cannot reach.
+fn byte_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..256)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn parse_is_total_on_byte_soup(text in byte_soup()) {
+        let file = SourceFile::parse(Path::new("soup.rs"), &text);
+        for (i, line) in file.lines.iter().enumerate() {
+            prop_assert_eq!(line.number, i + 1);
+        }
+        prop_assert!(file.lines.len() <= text.lines().count() + 1);
+    }
+
+    #[test]
+    fn parse_is_total_on_token_soup(text in token_soup()) {
+        let file = SourceFile::parse(Path::new("soup.rs"), &text);
+        for (i, line) in file.lines.iter().enumerate() {
+            prop_assert_eq!(line.number, i + 1);
+        }
+    }
+
+    #[test]
+    fn stripping_is_idempotent_on_byte_soup(text in byte_soup()) {
+        let once = SourceFile::parse(Path::new("soup.rs"), &text);
+        let rejoined = code_lines(&once).join("\n");
+        let twice = SourceFile::parse(Path::new("soup.rs"), &rejoined);
+        prop_assert_eq!(code_lines(&once), code_lines(&twice));
+    }
+
+    #[test]
+    fn stripping_is_idempotent_on_token_soup(text in token_soup()) {
+        let once = SourceFile::parse(Path::new("soup.rs"), &text);
+        let rejoined = code_lines(&once).join("\n");
+        let twice = SourceFile::parse(Path::new("soup.rs"), &rejoined);
+        prop_assert_eq!(code_lines(&once), code_lines(&twice));
+    }
+}

@@ -25,6 +25,9 @@
 //!   DESIGN.md §12).
 //! * [`reference`] — the retained per-cycle reference stepper, the
 //!   equivalence oracle for the event-driven core (see DESIGN.md §10).
+//! * `shadow` (feature `sanitizer`) — a deterministic happens-before
+//!   sanitizer: vector clocks stamped onto every boundary message, with
+//!   the hand-off ordering asserted on every drain (see DESIGN.md §13).
 //!
 //! # Example
 //!
@@ -54,6 +57,8 @@ pub mod packet;
 pub mod parallel;
 pub mod reference;
 pub mod router;
+#[cfg(feature = "sanitizer")]
+pub mod shadow;
 pub mod topology;
 pub mod traffic;
 

@@ -62,6 +62,8 @@ use crate::network::{
     clear_bit, set_bit, Delivery, NetworkConfig, NetworkStats, NocFabric, SimFlit, NO_LOCK,
 };
 use crate::packet::Packet;
+#[cfg(feature = "sanitizer")]
+use crate::shadow::{RegionClock, ShadowClock, Stamp};
 use crate::topology::{Direction, Mesh, NodeId, RegionMap};
 
 /// Sentinel for "no channel / not a boundary port" in the dense routing
@@ -110,10 +112,19 @@ enum BoundaryMsg {
         dst_port: u32,
         flit: SimFlit,
         record: Option<Box<LiveRec>>,
+        /// Sender's vector clock at the send event (sanitizer builds).
+        #[cfg(feature = "sanitizer")]
+        stamp: Stamp,
     },
     /// Downstream popped a flit from the FIFO fed by upstream output port
     /// `src_port`: one credit of buffer space returns.
-    Credit { cycle: u64, src_port: u32 },
+    Credit {
+        cycle: u64,
+        src_port: u32,
+        /// Sender's vector clock at the send event (sanitizer builds).
+        #[cfg(feature = "sanitizer")]
+        stamp: Stamp,
+    },
 }
 
 impl BoundaryMsg {
@@ -121,6 +132,14 @@ impl BoundaryMsg {
     const fn cycle(&self) -> u64 {
         match self {
             BoundaryMsg::Flit { cycle, .. } | BoundaryMsg::Credit { cycle, .. } => *cycle,
+        }
+    }
+
+    /// The vector timestamp this message carries (sanitizer builds).
+    #[cfg(feature = "sanitizer")]
+    fn stamp(&self) -> &Stamp {
+        match self {
+            BoundaryMsg::Flit { stamp, .. } | BoundaryMsg::Credit { stamp, .. } => stamp,
         }
     }
 }
@@ -138,6 +157,7 @@ impl Channel {
     /// Poison-free lock: a poisoned queue simply yields its inner state
     /// (the panicking thread's batch is already being unwound).
     fn lock(&self) -> MutexGuard<'_, VecDeque<BoundaryMsg>> {
+        // lint: allow(blocking-in-hot-path) — SPSC boundary queue: at most one producer and one consumer touch it per cycle, never across the barrier
         match self.queue.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -302,6 +322,11 @@ struct Region {
     ejected: Vec<SimFlit>,
     /// Deliveries of the current batch, keyed (cycle, destination node).
     deliveries: Vec<(u64, u32, Delivery)>,
+
+    /// This region's vector clock, advanced only at barrier joins
+    /// (sanitizer builds).
+    #[cfg(feature = "sanitizer")]
+    shadow: RegionClock,
 }
 
 #[inline]
@@ -432,10 +457,13 @@ impl Region {
             // send_cycle < t leave the queue, the queue itself is per
             // ordered region pair in producer plan order, and each link
             // carries at most one flit per cycle.
+            // lint: allow(blocking-in-hot-path) — one bounded, uncontended acquisition per in-channel per cycle; released before the barrier
             let mut inbox = channels[chan].lock();
             while inbox.front().is_some_and(|m| m.cycle() < t) {
                 // lint: allow(nondeterminism) — pop is fenced on msg.cycle < t just above
                 if let Some(msg) = inbox.pop_front() {
+                    #[cfg(feature = "sanitizer")]
+                    self.shadow.check_recv(msg.stamp(), t);
                     self.apply_msg(msg);
                 }
             }
@@ -588,7 +616,15 @@ impl Region {
             if self.in_credit_chan[q] != NO_CHAN {
                 let chan = self.in_credit_chan[q];
                 let src_port = self.in_src_port[q];
-                self.push_boundary(chan, BoundaryMsg::Credit { cycle: t, src_port });
+                self.push_boundary(
+                    chan,
+                    BoundaryMsg::Credit {
+                        cycle: t,
+                        src_port,
+                        #[cfg(feature = "sanitizer")]
+                        stamp: self.shadow.stamp(t),
+                    },
+                );
             }
             self.remove_router_flit(idx);
             self.stats.flit_hops += 1;
@@ -695,6 +731,8 @@ impl Region {
                 dst_port,
                 flit,
                 record,
+                #[cfg(feature = "sanitizer")]
+                stamp: self.shadow.stamp(t),
             },
         );
     }
@@ -712,6 +750,7 @@ impl Region {
             if buf.is_empty() {
                 continue;
             }
+            // lint: allow(blocking-in-hot-path) — one bounded, uncontended acquisition per out-channel per cycle; released before the barrier
             let mut q = channels[*chan as usize].lock();
             q.extend(buf.drain(..));
         }
@@ -796,6 +835,11 @@ pub struct ParallelNetwork {
     threaded: bool,
     delivered: Vec<Delivery>,
     merge: Vec<(u64, u32, Delivery)>,
+    /// Shared completion board the region clocks join through (sanitizer
+    /// builds). Persists across batches so cross-batch hand-offs stay
+    /// ordered even when drivers alternate.
+    #[cfg(feature = "sanitizer")]
+    shadow: ShadowClock,
 }
 
 impl ParallelNetwork {
@@ -965,6 +1009,8 @@ impl ParallelNetwork {
                 moved: Vec::new(),
                 ejected: Vec::new(),
                 deliveries: Vec::new(),
+                #[cfg(feature = "sanitizer")]
+                shadow: RegionClock::new(rid, nregions),
             });
         }
 
@@ -978,6 +1024,8 @@ impl ParallelNetwork {
             threaded: true,
             delivered: Vec::new(),
             merge: Vec::new(),
+            #[cfg(feature = "sanitizer")]
+            shadow: ShadowClock::new(nregions),
         })
     }
 
@@ -1203,6 +1251,15 @@ impl ParallelNetwork {
             let t = base + ran;
             for region in &mut self.regions {
                 region.run_cycle(t, &self.channels);
+                #[cfg(feature = "sanitizer")]
+                self.shadow.complete(region.id as usize, t);
+            }
+            // The end of the region loop is the sequential driver's
+            // synchronization point — the moment cycle t's sends become
+            // eligible for cycle t + 1 drains.
+            #[cfg(feature = "sanitizer")]
+            for region in &mut self.regions {
+                self.shadow.join(&mut region.shadow);
             }
             ran += 1;
             if self.global_flits() == 0 {
@@ -1217,6 +1274,8 @@ impl ParallelNetwork {
         let base = self.now.raw();
         let sync = EpochSync::new(self.regions.len());
         let channels: &[Channel] = &self.channels;
+        #[cfg(feature = "sanitizer")]
+        let shadow: &ShadowClock = &self.shadow;
         let mut ran = cycles;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.regions.len());
@@ -1227,6 +1286,12 @@ impl ParallelNetwork {
                     while done < cycles {
                         let t = base + done;
                         region.run_cycle(t, channels);
+                        // Completion publishes before the barrier arrival;
+                        // the post-barrier join below picks up every peer's
+                        // store — also on the final (stopping) generation,
+                        // so cross-batch hand-offs stay ordered.
+                        #[cfg(feature = "sanitizer")]
+                        shadow.complete(region.id as usize, t);
                         sync_ref.publish(
                             region.id as usize,
                             region.live_flits,
@@ -1235,6 +1300,8 @@ impl ParallelNetwork {
                         );
                         done += 1;
                         let gen = sync_ref.arrive(done == cycles);
+                        #[cfg(feature = "sanitizer")]
+                        shadow.join(&mut region.shadow);
                         if sync_ref.stopped_at(gen) {
                             break;
                         }
@@ -1450,6 +1517,43 @@ mod tests {
             (out, n.stats(), n.now())
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// Sanitizer-only: the clocks live on the network, not the batch, so
+    /// hand-offs pending across a batch boundary stay ordered even when
+    /// the driver alternates between sequential and threaded — and the
+    /// instrumented fabric still matches the serial engine exactly.
+    #[cfg(feature = "sanitizer")]
+    #[test]
+    fn sanitizer_orders_cross_batch_handoffs_across_drivers() {
+        let mut serial = Network::new(config(4, 4)).unwrap();
+        let mut par = pnet(4, 4, 4);
+        let mut s_out = Vec::new();
+        let mut p_out = Vec::new();
+        for i in 0..32u64 {
+            let p = Packet::request(
+                i + 1,
+                NodeId::new((i % 4) as u16, ((i / 4) % 4) as u16),
+                NodeId::new(((i + 1) % 4) as u16, ((i / 3) % 4) as u16),
+                1 + (i % 3) as u32,
+            )
+            .unwrap();
+            assert_eq!(serial.inject(p.clone()).is_ok(), par.inject(p).is_ok());
+            // Single steps run sequentially; the PAR_BATCH_MIN batch takes
+            // the threaded driver on even rounds — so boundary messages
+            // regularly sit in the channels while the driver changes.
+            par.set_threaded(i % 2 == 0);
+            serial.step_into(&mut s_out);
+            par.step_into(&mut p_out);
+            serial.run_for(PAR_BATCH_MIN, &mut s_out);
+            par.run_for(PAR_BATCH_MIN, &mut p_out);
+            assert_eq!(s_out, p_out, "round {i}");
+        }
+        serial.run_until_idle_into(100_000, &mut s_out);
+        par.run_until_idle_into(100_000, &mut p_out);
+        assert_eq!(s_out, p_out);
+        assert_eq!(serial.stats(), par.stats());
+        assert_eq!(serial.now(), par.now());
     }
 
     #[test]

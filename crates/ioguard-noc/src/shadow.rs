@@ -1,0 +1,215 @@
+//! Deterministic happens-before sanitizer for the PDES fabric.
+//!
+//! The parallel engine's correctness argument (DESIGN.md §12) rests on one
+//! synchronization discipline: a boundary message sent during cycle `t`
+//! may only be consumed at a cycle strictly greater than `t`, and between
+//! the send and the receive every region crosses the epoch barrier at
+//! least once. This module *checks* that discipline at runtime instead of
+//! assuming it, using classic vector clocks:
+//!
+//! * Each region carries a [`RegionClock`] — a vector `vc` with one entry
+//!   per region, where `vc[q]` is one past the last cycle of region `q`
+//!   whose effects this region is allowed to observe. Clocks advance
+//!   **only** at the protocol's synchronization points (the per-cycle
+//!   barrier in the threaded driver, the end of the region loop in the
+//!   sequential driver), never by wall-clock luck.
+//! * Every [`BoundaryMsg`](crate::parallel) is stamped at the send site
+//!   with the sender's clock, the sender's own component bumped to
+//!   `t + 1` to count the send event itself.
+//! * On drain, the receiver asserts `stamp ≤ vc` componentwise. A
+//!   violation means the message was consumed before the barrier that
+//!   orders it — exactly the race the `cycle() < t` fence exists to
+//!   prevent — and the sanitizer halts the run loudly.
+//!
+//! The check is deliberately independent of the fence it verifies: it
+//! never reads `BoundaryMsg::cycle`, only the clocks joined through the
+//! shared [`ShadowClock`] completion board. A bug in the fence, a missed
+//! barrier join, or a driver draining one cycle too eagerly all surface as
+//! a componentwise clock comparison failure with both vectors printed.
+//!
+//! Everything here is compiled only under the `sanitizer` feature; the
+//! production fabric carries no stamps and no extra synchronization. With
+//! the feature on, the simulation output is bit-identical to the
+//! uninstrumented build — the sanitizer observes, it never steers.
+
+// lint: allow(indexing, file) — clocks are region-count sized and region ids are constructed in-range by `ParallelNetwork::with_map`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Vector timestamp carried by every boundary message under the sanitizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stamp {
+    /// Sending region id, for diagnostics only.
+    pub sender: u8,
+    /// The sender's clock at the send event; the sender's own component
+    /// already counts the send cycle (`vc[sender] = send_cycle + 1`).
+    pub vc: Vec<u64>,
+}
+
+/// One region's vector clock. `vc[q]` is one past the last cycle of
+/// region `q` that the protocol has ordered before this region's present.
+#[derive(Debug, Clone)]
+pub struct RegionClock {
+    id: usize,
+    vc: Vec<u64>,
+}
+
+impl RegionClock {
+    /// A clock for region `id` in a fabric of `regions` regions, knowing
+    /// nothing about any peer yet.
+    pub fn new(id: usize, regions: usize) -> Self {
+        Self {
+            id,
+            vc: vec![0; regions],
+        }
+    }
+
+    /// Stamps a message sent during cycle `t`.
+    pub fn stamp(&self, t: u64) -> Stamp {
+        let mut vc = self.vc.clone();
+        vc[self.id] = t + 1;
+        Stamp {
+            sender: self.id as u8,
+            vc,
+        }
+    }
+
+    /// Verifies the send event is in this region's past, then folds the
+    /// stamp into the clock (a no-op for a correctly ordered message).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any stamp component exceeds the receiver's clock: the
+    /// message was drained at cycle `t` before the barrier that orders its
+    /// send — a happens-before violation in the hand-off protocol.
+    pub fn check_recv(&mut self, stamp: &Stamp, t: u64) {
+        for q in 0..self.vc.len() {
+            assert!(
+                stamp.vc[q] <= self.vc[q],
+                "happens-before violation: region {} drained a message from region {} at cycle {t} \
+                 with stamp component [{q}] = {} ahead of the receiver's clock {} \
+                 (stamp {:?}, clock {:?})",
+                self.id,
+                stamp.sender,
+                stamp.vc[q],
+                self.vc[q],
+                stamp.vc,
+                self.vc,
+            );
+        }
+        for q in 0..self.vc.len() {
+            self.vc[q] = self.vc[q].max(stamp.vc[q]);
+        }
+    }
+}
+
+/// Shared completion board: `completed[r]` is one past the last cycle
+/// region `r` has fully executed. Regions publish here before arriving at
+/// the barrier and fold the board into their [`RegionClock`] right after
+/// crossing it — so clock knowledge flows exactly along the edges the
+/// barrier provides, and nowhere else.
+#[derive(Debug)]
+pub struct ShadowClock {
+    completed: Vec<AtomicU64>,
+}
+
+impl ShadowClock {
+    /// A board for `regions` regions, none of which has completed a cycle.
+    pub fn new(regions: usize) -> Self {
+        Self {
+            completed: (0..regions).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Region `region` finished executing cycle `t`. Called before the
+    /// barrier arrival so the release pairs with every peer's post-barrier
+    /// acquire in [`ShadowClock::join`].
+    pub fn complete(&self, region: usize, t: u64) {
+        self.completed[region].store(t + 1, Ordering::Release);
+    }
+
+    /// Folds the completion board into `clock` — called only at the
+    /// protocol's synchronization points (after a barrier crossing, or
+    /// after a full sequential region loop).
+    pub fn join(&self, clock: &mut RegionClock) {
+        for q in 0..clock.vc.len() {
+            clock.vc[q] = clock.vc[q].max(self.completed[q].load(Ordering::Acquire));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_counts_the_send_cycle() {
+        let clock = RegionClock::new(1, 3);
+        let stamp = clock.stamp(7);
+        assert_eq!(stamp.sender, 1);
+        assert_eq!(stamp.vc, vec![0, 8, 0]);
+    }
+
+    #[test]
+    fn barrier_join_orders_the_previous_cycle() {
+        let board = ShadowClock::new(2);
+        let mut receiver = RegionClock::new(1, 2);
+        let sender = RegionClock::new(0, 2);
+
+        // Cycle 0: region 0 sends, both regions complete, barrier, join.
+        let stamp = sender.stamp(0);
+        board.complete(0, 0);
+        board.complete(1, 0);
+        board.join(&mut receiver);
+
+        // Cycle 1: the fence admits the cycle-0 message — ordered.
+        receiver.check_recv(&stamp, 1);
+        assert_eq!(receiver.vc, vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "happens-before violation")]
+    fn same_cycle_drain_is_unordered() {
+        let board = ShadowClock::new(2);
+        let mut receiver = RegionClock::new(1, 2);
+        let sender = RegionClock::new(0, 2);
+
+        // Region 0 sends during cycle 3, but the receiver drains it in the
+        // same cycle — no barrier separates the two events.
+        board.complete(0, 2);
+        board.complete(1, 2);
+        board.join(&mut receiver);
+        let stamp = sender.stamp(3);
+        receiver.check_recv(&stamp, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "happens-before violation")]
+    fn missed_join_is_caught_even_after_the_barrier() {
+        let board = ShadowClock::new(2);
+        let mut receiver = RegionClock::new(1, 2);
+        let sender = RegionClock::new(0, 2);
+
+        let stamp = sender.stamp(0);
+        board.complete(0, 0);
+        // Receiver crosses the barrier but forgets to join the board: its
+        // clock still claims cycle 0 is concurrent.
+        receiver.check_recv(&stamp, 1);
+    }
+
+    #[test]
+    fn clocks_are_monotone_across_batches() {
+        let board = ShadowClock::new(3);
+        let mut clock = RegionClock::new(2, 3);
+        for t in 0..10 {
+            for r in 0..3 {
+                board.complete(r, t);
+            }
+            board.join(&mut clock);
+        }
+        assert_eq!(clock.vc, vec![10, 10, 10]);
+        // A batch boundary re-joins the same values: no regression.
+        board.join(&mut clock);
+        assert_eq!(clock.vc, vec![10, 10, 10]);
+    }
+}
