@@ -24,6 +24,12 @@
 //! scaling is reported advisorily — a 1-core container cannot exhibit a
 //! multi-thread speedup no matter how good the engine is.
 //!
+//! The `reconfig` section drives staged, verified mode changes between a
+//! two-VM and a three-VM population at sweeping commit offsets and records
+//! the drain-latency percentiles against the admission-time budget
+//! (DESIGN.md §14). The budget is a hard gate: one over-budget drain fails
+//! the run.
+//!
 //! Usage:
 //!
 //! ```text
@@ -38,12 +44,15 @@
 use std::time::Instant;
 
 use ioguard_core::casestudy::{run_trial, SystemUnderTest};
+use ioguard_hypervisor::pchannel::PredefinedTask;
 use ioguard_noc::network::{Delivery, Network, NetworkConfig, NetworkStats, NocFabric};
 use ioguard_noc::obs::ObservedFabric;
 use ioguard_noc::packet::Packet;
 use ioguard_noc::parallel::ParallelNetwork;
 use ioguard_noc::reference::ReferenceNetwork;
 use ioguard_noc::topology::NodeId;
+use ioguard_reconfig::{ReconfigController, StagedConfig};
+use ioguard_sched::task::{PeriodicServer, SporadicTask};
 use ioguard_sim::rng::Xoshiro256StarStar;
 use ioguard_workload::generator::{TrialConfig, TrialWorkload};
 
@@ -70,6 +79,8 @@ struct Mode {
     scaling_min_cores: usize,
     /// Timing repetitions (minimum elapsed wins).
     reps: u32,
+    /// Completed mode changes in the reconfig drain-latency lane.
+    reconfig_flips: u64,
 }
 
 impl Mode {
@@ -84,6 +95,7 @@ impl Mode {
             scaling_floor: 2.0,
             scaling_min_cores: 4,
             reps: 1,
+            reconfig_flips: 16,
         }
     }
 
@@ -98,6 +110,7 @@ impl Mode {
             scaling_floor: 4.0,
             scaling_min_cores: 8,
             reps: 3,
+            reconfig_flips: 64,
         }
     }
 }
@@ -279,6 +292,90 @@ fn compare(
     }
 }
 
+/// What the reconfig drain-latency lane measured.
+struct DrainLane {
+    flips: u64,
+    drain_budget: u64,
+    p50: u64,
+    p95: u64,
+    max: u64,
+    stage_verify_secs: f64,
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives `flips` staged, verified, hyperperiod-aligned mode changes
+/// between a two-VM and a three-VM population, committing at a different
+/// slot offset each time so the measured drain latencies sweep the whole
+/// hyperperiod. Returns the observed drain-latency percentiles (in slots)
+/// against the admission-time budget, plus the total wall time spent in
+/// offline stage+verify.
+fn reconfig_drain_lane(flips: u64) -> DrainLane {
+    let beat = |vm: usize, id: u64| PredefinedTask {
+        task_id: id,
+        vm,
+        task: SporadicTask::implicit(8, 1).expect("static P-channel geometry"),
+        response_bytes: 32,
+        start_offset: 0,
+    };
+    let mk = |servers: &[(u64, u64)], tasks: &[(u64, u64, u64)]| {
+        let servers = servers
+            .iter()
+            .map(|&(p, t)| PeriodicServer::new(p, t).expect("static server geometry"))
+            .collect();
+        let sets = tasks
+            .iter()
+            .map(|&(t, c, d)| {
+                vec![SporadicTask::new(t, c, d).expect("static task geometry")].into()
+            })
+            .collect();
+        StagedConfig::new(servers, sets)
+    };
+    let mut two_vm = mk(&[(5, 2), (10, 3)], &[(20, 2, 10), (40, 4, 30)]);
+    two_vm.predefined = vec![beat(0, 900)];
+    let mut three_vm = mk(
+        &[(5, 1), (10, 2), (8, 2)],
+        &[(20, 1, 10), (40, 2, 30), (32, 2, 16)],
+    );
+    three_vm.predefined = vec![beat(1, 901)];
+
+    const DRAIN_BUDGET: u64 = 16;
+    let mut rc = ReconfigController::new(two_vm.clone(), DRAIN_BUDGET, 1 << 14)
+        .expect("benchmark config verifies");
+    let mut stage_verify_secs = 0.0;
+    for flip in 0..flips {
+        // Vary the commit offset so latencies cover the whole hyperperiod.
+        rc.run(1 + flip % 7);
+        // Keep the R-channel pools non-empty so every drain carries work.
+        let _ = rc.submit(0, flip + 1, 1, 12, true);
+        let candidate = if flip % 2 == 0 { &three_vm } else { &two_vm };
+        let start = Instant::now();
+        rc.stage(candidate.clone())
+            .expect("benchmark candidate verifies");
+        rc.commit().expect("benchmark commit fits the budget");
+        stage_verify_secs += start.elapsed().as_secs_f64();
+        // Two hyperperiods always reach the boundary and finish the switch.
+        rc.run(16);
+    }
+    let mut latencies = rc.drain_latencies().to_vec();
+    latencies.sort_unstable();
+    DrainLane {
+        flips: latencies.len() as u64,
+        drain_budget: DRAIN_BUDGET,
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        max: latencies.last().copied().unwrap_or(0),
+        stage_verify_secs,
+    }
+}
+
 /// slots/s of `run_trial` for one Fig. 7 system.
 fn slot_rate(system: SystemUnderTest, workload: &TrialWorkload, horizon: u64, reps: u32) -> f64 {
     let (secs, _) = time_runs(reps, || run_trial(system, workload, 7, horizon));
@@ -409,6 +506,21 @@ fn main() {
         scaling_rows.push((regions, outcome.now as f64 / secs, speedup));
     }
 
+    // Reconfig drain lane: staged, verified mode changes committed at
+    // sweeping slot offsets; the observed drain latencies must sit under
+    // the admission-time budget, with percentiles recorded for the trend.
+    let drain = reconfig_drain_lane(mode.reconfig_flips);
+    eprintln!(
+        "bench-summary: reconfig {} flips, drain p50 {} p95 {} max {} (budget {}), \
+         stage+verify {:.1} ms total",
+        drain.flips,
+        drain.p50,
+        drain.p95,
+        drain.max,
+        drain.drain_budget,
+        drain.stage_verify_secs * 1e3,
+    );
+
     // Engine slot rate: the Fig. 7 lineup from the experiment hot path.
     let workload = TrialWorkload::generate(&TrialConfig::new(4, 0.70, 7));
     let mut slot_rates: Vec<(String, f64)> = Vec::new();
@@ -440,7 +552,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"ioguard-bench-noc/v2\",\n",
+            "  \"schema\": \"ioguard-bench-noc/v3\",\n",
             "  \"mode\": \"{mode}\",\n",
             "  \"host_parallelism\": {host_par},\n",
             "  \"noc\": {{\n",
@@ -467,6 +579,13 @@ fn main() {
             "      \"overhead_pct\": {obs_pct:.1}\n",
             "    }}\n",
             "  }},\n",
+            "  \"reconfig\": {{\n",
+            "    \"flips\": {flips},\n",
+            "    \"drain_budget_slots\": {drain_budget},\n",
+            "    \"drain_latency_slots\": {{ \"p50\": {drain_p50}, \"p95\": {drain_p95}, \"max\": {drain_max} }},\n",
+            "    \"stage_verify_ms_total\": {stage_verify_ms:.1},\n",
+            "    \"within_budget\": {within_budget}\n",
+            "  }},\n",
             "  \"engine\": {{\n",
             "    \"slot_rate_slots_per_sec\": {{\n",
             "{slots}\n",
@@ -488,6 +607,13 @@ fn main() {
         plain_fps = rate(saturated.engine_flits_per_sec()),
         obs_fps = rate(observed_flits_per_sec),
         obs_pct = obs_overhead_pct,
+        flips = drain.flips,
+        drain_budget = drain.drain_budget,
+        drain_p50 = drain.p50,
+        drain_p95 = drain.p95,
+        drain_max = drain.max,
+        stage_verify_ms = drain.stage_verify_secs * 1e3,
+        within_budget = drain.max <= drain.drain_budget,
         slots = slot_entries.join(",\n"),
         horizon = mode.slot_horizon,
     );
@@ -501,6 +627,16 @@ fn main() {
         eprintln!(
             "bench-summary: FAIL — sparse speedup {:.2}x is below the 3x floor",
             sparse.speedup()
+        );
+        std::process::exit(1);
+    }
+
+    // Bounded draining is a hard guarantee, not a trend: every completed
+    // switch must have landed within the admission-time budget.
+    if drain.max > drain.drain_budget {
+        eprintln!(
+            "bench-summary: FAIL — max drain latency {} slots exceeds the {}-slot budget",
+            drain.max, drain.drain_budget
         );
         std::process::exit(1);
     }

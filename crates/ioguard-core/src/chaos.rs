@@ -7,7 +7,9 @@
 //! **bit-identical at any thread count** — the reproducibility property the
 //! chaos-isolation test suite pins down.
 
-use ioguard_faults::{ChaosOutcome, ChaosScenario, FaultPlan, ObservedChaos};
+use ioguard_faults::{
+    ChaosOutcome, ChaosScenario, FaultPlan, ObservedChaos, ReconfigOutcome, ReconfigScenario,
+};
 use ioguard_hypervisor::HvObs;
 use ioguard_obs::{CounterRegistry, Histogram};
 
@@ -211,6 +213,125 @@ impl ChaosSweepReport {
     }
 }
 
+/// A batch of fault-injected reconfiguration trials: configurations flip
+/// mid-trial (stalls during drains, babbling VMs across boundaries,
+/// back-to-back flips) while the exactly-once and bounded-drain
+/// guarantees are checked per trial. Like [`ChaosSweep`], the outcome
+/// vector is bit-identical at any thread count.
+#[derive(Debug, Clone)]
+pub struct ReconfigSweep {
+    /// The scenarios, run as one engine batch.
+    pub scenarios: Vec<ReconfigScenario>,
+    /// Worker threads (`0` = all cores).
+    pub threads: usize,
+}
+
+impl ReconfigSweep {
+    /// The standard mode-change battery: for each of `trials` seeds
+    /// derived from `base_seed`, clean flips, flips under device stalls,
+    /// flips with a babbling adversary, and back-to-back flips — four
+    /// scenarios per seed.
+    pub fn standard(base_seed: u64, trials: u64, threads: usize) -> Self {
+        let mut scenarios = Vec::new();
+        for trial in 0..trials {
+            let seed = base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(trial);
+            scenarios.push(ReconfigScenario::new(FaultPlan::new(seed)));
+            scenarios.push(ReconfigScenario::new(
+                FaultPlan::new(seed).with_device_stalls(0.5, 48),
+            ));
+            let mut babble = ReconfigScenario::new(FaultPlan::new(seed).with_adversary(1, 6));
+            babble.plan.malformed_rate = 0.2;
+            scenarios.push(babble);
+            let mut rapid = ReconfigScenario::new(FaultPlan::new(seed));
+            rapid.flip_period = 2;
+            rapid.horizon = 600;
+            scenarios.push(rapid);
+        }
+        Self { scenarios, threads }
+    }
+
+    /// Runs every scenario through the engine and collects the outcomes
+    /// in scenario order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first scenario-construction error
+    /// ([`ioguard_hypervisor::HvError`]); rejections and aborts during a
+    /// trial are data, not failures.
+    pub fn run(&self) -> Result<ReconfigSweepReport, ioguard_hypervisor::HvError> {
+        let (results, stats) = run_indexed(self.threads, &self.scenarios, |_, s| s.run());
+        let mut outcomes = Vec::with_capacity(results.len());
+        for r in results {
+            outcomes.push(r?);
+        }
+        Ok(ReconfigSweepReport {
+            scenarios: self.scenarios.clone(),
+            outcomes,
+            stats,
+        })
+    }
+}
+
+/// The collected outcomes of one reconfiguration sweep.
+#[derive(Debug, Clone)]
+pub struct ReconfigSweepReport {
+    /// The scenarios that ran, in order.
+    pub scenarios: Vec<ReconfigScenario>,
+    /// Per-scenario outcomes, in scenario order.
+    pub outcomes: Vec<ReconfigOutcome>,
+    /// Engine counters for the run.
+    pub stats: EngineStats,
+}
+
+impl ReconfigSweepReport {
+    /// Indices of trials whose work-conservation totals do not balance —
+    /// empty when the exactly-once guarantee held across the battery.
+    pub fn conservation_violations(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.conserved)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of trials where a drain ran past its budget — empty when
+    /// the bound was enforced across the battery.
+    pub fn drain_bound_violations(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.drain_within_budget)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Completed switches summed over the battery.
+    pub fn total_switches(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.switches).sum()
+    }
+
+    /// One-line-per-trial text rendering for the example binaries.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("trial  epochs  commits  rejects  aborts  max-drain  conserved\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let conserved = if o.conserved { "ok" } else { "VIOLATED" };
+            out.push_str(&format!(
+                "{i:>5}  {:>6}  {:>7}  {:>7}  {:>6}  {:>9}  {conserved}\n",
+                o.epochs,
+                o.commits,
+                o.stage_rejects + o.commit_rejects,
+                o.boundary_aborts,
+                o.max_drain,
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +357,23 @@ mod tests {
         let text = report.render();
         assert_eq!(text.lines().count(), 1 + report.outcomes.len());
         assert!(text.contains("ok"));
+    }
+
+    #[test]
+    fn reconfig_battery_conserves_and_bounds_drains() {
+        let report = ReconfigSweep::standard(0xF11B, 1, 1).run().unwrap();
+        assert_eq!(report.outcomes.len(), 4);
+        assert_eq!(report.conservation_violations(), Vec::<usize>::new());
+        assert_eq!(report.drain_bound_violations(), Vec::<usize>::new());
+        assert!(report.total_switches() > 0, "{:?}", report.outcomes);
+        let text = report.render();
+        assert_eq!(text.lines().count(), 1 + report.outcomes.len());
+    }
+
+    #[test]
+    fn reconfig_sweep_is_bit_identical_across_thread_counts() {
+        let single = ReconfigSweep::standard(9, 2, 1).run().unwrap();
+        let multi = ReconfigSweep::standard(9, 2, 4).run().unwrap();
+        assert_eq!(single.outcomes, multi.outcomes);
     }
 }

@@ -13,7 +13,9 @@
 //! * [`engine`] — the work-stealing experiment engine the case study runs
 //!   on: deterministic results at any thread count.
 //! * [`chaos`] — the robustness battery: fault-plan sweeps (adversarial
-//!   VMs, lossy NoCs, stalling devices) asserting the isolation claim.
+//!   VMs, lossy NoCs, stalling devices) asserting the isolation claim,
+//!   plus reconfiguration sweeps that flip the VM population mid-trial
+//!   and assert exactly-once dispatch with bounded drains.
 //! * [`observe`] — canonical observed runs for the `ioguard-obs` layer:
 //!   deterministic golden traces and the `OBS_snapshot.json` composer
 //!   behind the `trace-export` binary.
@@ -52,13 +54,19 @@ pub mod prelude {
     pub use crate::casestudy::{
         CaseStudyConfig, CaseStudyPoint, Fig7Report, PointSummary, SystemUnderTest,
     };
-    pub use crate::chaos::{ChaosSweep, ChaosSweepReport, ObservedSweepReport};
+    pub use crate::chaos::{
+        ChaosSweep, ChaosSweepReport, ObservedSweepReport, ReconfigSweep, ReconfigSweepReport,
+    };
     pub use crate::engine::{run_indexed, run_indexed_profiled, EngineStats};
     pub use crate::experiments::{fig6_report, fig8_report, table1_report};
-    pub use crate::observe::{chaos_observed, end_to_end_observed, render_trace, ObservedRun};
+    pub use crate::observe::{
+        chaos_observed, end_to_end_observed, reconfig_observed, render_reconfig_trace,
+        render_trace, ObservedReconfig, ObservedRun,
+    };
     pub use crate::predictability::{latency_profiles, PredictabilityConfig};
     pub use ioguard_baselines::platform::{IoPlatform, PlatformJob, PlatformMetrics};
     pub use ioguard_hypervisor::{Hypervisor, HypervisorParams, RtJob};
+    pub use ioguard_reconfig::{ReconfigController, ReconfigTotals, StagedConfig};
     pub use ioguard_rtos::{IoPath, SoftwareLayer};
     pub use ioguard_sched::{
         PeriodicServer, SporadicTask, TaskSet, TimeSlotTable, TwoLayerAnalysis,

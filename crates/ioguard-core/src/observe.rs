@@ -9,6 +9,11 @@
 //! * [`chaos_observed`] — a shrunk device-stall chaos trial
 //!   ([`ChaosScenario::run_observed`]). Exercises faults, retries, mode
 //!   changes, recovery and the degraded admission edges.
+//! * [`reconfig_observed`] — a canonical stage → verify → commit → drain
+//!   mode change: a two-VM system verified and flipped to a three-VM
+//!   successor at a hyperperiod boundary, with jobs carried across the
+//!   switch. Exercises the `Reconfig*` event kinds and the epoch-tagged
+//!   per-epoch traces.
 //!
 //! Both are pure functions of their seed: the rendered traces
 //! ([`render_trace`]) are byte-identical across runs and thread counts,
@@ -30,7 +35,8 @@ use ioguard_noc::topology::NodeId;
 use ioguard_noc::Network;
 use ioguard_obs::export::{counters_json, fnv1a, hist_json, kind_counts_json};
 use ioguard_obs::{Histogram, TraceSink};
-use ioguard_sched::task::SporadicTask;
+use ioguard_reconfig::{ReconfigController, ReconfigTotals, StagedConfig};
+use ioguard_sched::task::{PeriodicServer, SporadicTask};
 
 /// Slots simulated by [`end_to_end_observed`].
 pub const END_TO_END_HORIZON: u64 = 256;
@@ -146,6 +152,114 @@ pub fn chaos_observed(seed: u64) -> ObservedChaos {
     scenario
         .run_observed()
         .expect("static chaos scenario geometry")
+}
+
+/// Slots simulated by [`reconfig_observed`].
+pub const RECONFIG_HORIZON: u64 = 48;
+
+/// An observed online-reconfiguration run: the controller's own event
+/// stream plus the per-epoch hypervisor traces.
+#[derive(Debug)]
+pub struct ObservedReconfig {
+    /// Work-conservation totals across every epoch.
+    pub totals: ReconfigTotals,
+    /// The controller's Stage/Verify/Commit/Abort/Drain stream.
+    pub reconfig_sink: TraceSink,
+    /// Hypervisor event streams, one per epoch (retired epochs in order,
+    /// then the live epoch) — the epoch tag of every dispatch is which
+    /// stream it appears in.
+    pub epoch_sinks: Vec<TraceSink>,
+    /// Observed drain latency of every completed switch, in slots.
+    pub drain_latencies: Vec<u64>,
+    /// Final epoch number.
+    pub epochs: u64,
+}
+
+/// Runs the canonical mode change with the observability layer on.
+///
+/// A two-VM system (σ\* heartbeat of period 8, critical jobs every 6
+/// slots on VM 0, best-effort every 9 on VM 1, WCETs seed-jittered)
+/// stages a verified three-VM successor at slot 5 and commits; the switch
+/// runs at the slot-8 hyperperiod boundary with a 3-slot traced drain,
+/// carrying in-flight work into epoch 1. Pure in `seed`: same seed, same
+/// trace bytes.
+pub fn reconfig_observed(seed: u64) -> ObservedReconfig {
+    let beat = |vm: usize, id: u64| PredefinedTask {
+        task_id: id,
+        vm,
+        task: SporadicTask::implicit(8, 1).expect("static P-channel geometry"),
+        response_bytes: 32,
+        start_offset: 0,
+    };
+    let mk = |servers: Vec<(u64, u64)>, tasks: Vec<(u64, u64, u64)>| {
+        let servers = servers
+            .iter()
+            .map(|&(p, t)| PeriodicServer::new(p, t).expect("static server geometry"))
+            .collect();
+        let sets = tasks
+            .iter()
+            .map(|&(t, c, d)| {
+                vec![SporadicTask::new(t, c, d).expect("static task geometry")].into()
+            })
+            .collect();
+        StagedConfig::new(servers, sets)
+    };
+    let mut old = mk(vec![(5, 2), (10, 3)], vec![(20, 2, 10), (40, 4, 30)]);
+    old.predefined = vec![beat(0, 900)];
+    let mut new = mk(
+        vec![(5, 1), (10, 2), (8, 2)],
+        vec![(20, 1, 10), (40, 2, 30), (32, 2, 16)],
+    );
+    new.predefined = vec![beat(1, 901)];
+
+    let mut rc = ReconfigController::new(old, 16, 1 << 10).expect("static reconfig geometry");
+    rc.attach_obs(1 << 12);
+    let mut next_id: u64 = 1;
+    for t in 0..RECONFIG_HORIZON {
+        if t == 5 {
+            rc.stage(new.clone()).expect("canonical successor verifies");
+            rc.commit().expect("slot-8 boundary fits the drain budget");
+        }
+        if t % 6 == 0 {
+            let wcet = 1 + jitter(seed, t) % 2;
+            let _ = rc.submit(0, next_id, wcet, 12, true);
+            next_id += 1;
+        }
+        if t % 9 == 0 {
+            let _ = rc.submit(1, next_id, 2, 18, false);
+            next_id += 1;
+        }
+        rc.step();
+    }
+    let mut epoch_sinks: Vec<TraceSink> = Vec::new();
+    for r in rc.retired() {
+        if let Some(obs) = &r.obs {
+            epoch_sinks.push(obs.sink.clone());
+        }
+    }
+    if let Some(obs) = rc.hv().obs() {
+        epoch_sinks.push(obs.sink.clone());
+    }
+    ObservedReconfig {
+        totals: rc.totals(),
+        reconfig_sink: rc.sink().clone(),
+        epoch_sinks,
+        drain_latencies: rc.drain_latencies().to_vec(),
+        epochs: rc.epoch(),
+    }
+}
+
+/// Canonical text rendering of an observed reconfiguration — the
+/// golden-trace payload: the controller's event stream followed by one
+/// hypervisor section per epoch.
+pub fn render_reconfig_trace(run: &ObservedReconfig) -> String {
+    let mut out = String::from("# reconfig events\n");
+    out.push_str(&run.reconfig_sink.render());
+    for (i, sink) in run.epoch_sinks.iter().enumerate() {
+        out.push_str(&format!("# epoch {i} hypervisor events\n"));
+        out.push_str(&sink.render());
+    }
+    out
 }
 
 /// Canonical text rendering of one observed run's event streams — the
@@ -265,5 +379,31 @@ mod tests {
         assert!(a.contains("\"schema\": \"ioguard-obs-snapshot-v1\""));
         assert!(a.contains("\"trace_checksum\""));
         assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn reconfig_run_is_deterministic_and_lossless() {
+        let a = reconfig_observed(7);
+        let b = reconfig_observed(7);
+        assert_eq!(render_reconfig_trace(&a), render_reconfig_trace(&b));
+        assert_eq!(a.reconfig_sink.dropped(), 0);
+        for sink in &a.epoch_sinks {
+            assert_eq!(sink.dropped(), 0);
+        }
+        assert!(a.totals.conserved(), "{:?}", a.totals);
+    }
+
+    #[test]
+    fn reconfig_run_switches_once_at_the_slot_8_boundary() {
+        let run = reconfig_observed(7);
+        assert_eq!(run.epochs, 1);
+        assert_eq!(run.epoch_sinks.len(), 2);
+        assert_eq!(run.drain_latencies, vec![3]);
+        assert_eq!(run.reconfig_sink.of_kind(ObsKind::ReconfigDrain).count(), 1);
+        assert_eq!(run.reconfig_sink.of_kind(ObsKind::ReconfigAbort).count(), 0);
+        let trace = render_reconfig_trace(&run);
+        assert!(trace.contains("# reconfig events\n"));
+        assert!(trace.contains("# epoch 0 hypervisor events\n"));
+        assert!(trace.contains("# epoch 1 hypervisor events\n"));
     }
 }

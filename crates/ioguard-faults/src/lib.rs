@@ -3,7 +3,7 @@
 //! Deterministic fault injection and chaos scenarios for the I/O-GUARD
 //! reproduction.
 //!
-//! The crate has three layers:
+//! The crate has four layers:
 //!
 //! - [`plan`] — a seeded [`FaultPlan`]: rates for NoC link failures, packet
 //!   drops/corruption, congestion bursts, device stalls, plus an optional
@@ -19,6 +19,10 @@
 //!   NoC through a plan and returns a [`ChaosOutcome`] whose
 //!   `isolation_holds()` checks the paper's core claim empirically: a
 //!   misbehaving VM hurts only itself.
+//! - [`reconfig`] — a [`ReconfigScenario`] that flips a live system between
+//!   two populations mid-trial (stalls during drains, babbling VMs across
+//!   switch boundaries, back-to-back flips) and checks that the
+//!   exactly-once and bounded-drain guarantees survive the faults.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,7 +30,9 @@
 pub mod chaos;
 pub mod noc;
 pub mod plan;
+pub mod reconfig;
 
 pub use chaos::{ChaosOutcome, ChaosScenario, ObservedChaos};
 pub use noc::NocFaultDriver;
 pub use plan::FaultPlan;
+pub use reconfig::{ReconfigOutcome, ReconfigScenario};

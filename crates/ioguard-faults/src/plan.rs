@@ -232,6 +232,8 @@ pub mod tags {
     pub const STALL: u64 = 5;
     /// Malformed adversarial submissions: `(MALFORMED, slot, k)`.
     pub const MALFORMED: u64 = 6;
+    /// Online-reconfiguration flip attempts: `(RECONFIG, window, 0)`.
+    pub const RECONFIG: u64 = 7;
 }
 
 #[cfg(test)]

@@ -1046,6 +1046,48 @@ impl Hypervisor {
             self.step();
         }
     }
+
+    /// Drains every pool for a configuration switch, returning the carried
+    /// `(vm, entry)` pairs in deterministic order (VM ascending, earliest
+    /// deadline first within a VM) and leaving all shadow state cleared.
+    /// The entries are *not* misses — the reconfiguration controller is
+    /// responsible for re-inserting each exactly once into the successor
+    /// configuration (or accounting for it if its VM departed).
+    pub fn drain_pools(&mut self) -> Vec<(usize, PoolEntry)> {
+        let mut carried = Vec::new();
+        for vm in 0..self.pools.len() {
+            for entry in self.pools[vm].drain_all() {
+                carried.push((vm, entry));
+            }
+            self.sync_shadow(vm);
+        }
+        carried
+    }
+
+    /// Re-inserts an entry carried across a configuration switch into VM
+    /// `vm`'s pool, bypassing admission control and mode gating: the job
+    /// was already admitted (and traced) under the previous configuration
+    /// epoch, so no `Admit` event is emitted and flood control is not
+    /// charged — re-admitting would double-count it.
+    ///
+    /// # Errors
+    ///
+    /// * [`HvError::UnknownVm`] when `vm` does not exist in this
+    ///   configuration (the caller decides whether that is a teardown).
+    /// * [`HvError::PoolFull`] when the pool cannot hold the entry (the
+    ///   caller accounts the loss; nothing is silently dropped here).
+    pub fn restore_entry(&mut self, vm: usize, entry: PoolEntry) -> Result<(), HvError> {
+        let vms = self.pools.len();
+        let Some(pool) = self.pools.get_mut(vm) else {
+            return Err(HvError::UnknownVm { vm, vms });
+        };
+        let capacity = pool.capacity();
+        let result = pool
+            .insert(entry)
+            .map_err(|_| HvError::PoolFull { vm, capacity });
+        self.sync_shadow(vm);
+        result
+    }
 }
 
 #[cfg(test)]
@@ -1427,6 +1469,46 @@ mod tests {
         assert!(matches!(
             Hypervisor::new(bad),
             Err(HvError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn drain_and_restore_carry_entries_exactly_once() {
+        let mut hv = Hypervisor::new(HypervisorParams::new(2)).unwrap();
+        hv.submit(RtJob::new(0, 1, 0, 3, 100)).unwrap();
+        hv.submit(RtJob::new(1, 2, 0, 2, 50)).unwrap();
+        hv.run(1); // one slot of progress on the tighter job
+        let carried = hv.drain_pools();
+        assert_eq!(carried.len(), 2);
+        assert!(hv.pools().iter().all(IoPool::is_empty));
+        // Deterministic order: vm ascending.
+        assert_eq!(carried[0].0, 0);
+        assert_eq!(carried[1].0, 1);
+        // Progress is preserved in the carried entry.
+        assert_eq!(carried[1].1.remaining, 1);
+        // Restore into a fresh hypervisor; no Admit events, jobs finish.
+        let mut next = Hypervisor::new(HypervisorParams::new(2)).unwrap();
+        next.attach_obs(64);
+        for (vm, entry) in carried {
+            next.restore_entry(vm, entry).unwrap();
+        }
+        assert_eq!(next.obs().unwrap().sink.recorded(), 0, "no admit events");
+        next.run(10);
+        assert_eq!(next.metrics().completed, 2);
+        // Restore into an unknown VM is a typed error.
+        let mut small = Hypervisor::new(HypervisorParams::new(1)).unwrap();
+        let entry = PoolEntry {
+            task_id: 9,
+            deadline: 10,
+            remaining: 1,
+            enqueued_at: 0,
+            first_dispatch: NEVER_DISPATCHED,
+            response_bytes: 64,
+            critical: true,
+        };
+        assert!(matches!(
+            small.restore_entry(5, entry),
+            Err(HvError::UnknownVm { vm: 5, vms: 1 })
         ));
     }
 

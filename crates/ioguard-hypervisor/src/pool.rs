@@ -224,6 +224,18 @@ impl IoPool {
         self.entries.iter()
     }
 
+    /// Removes and returns every buffered entry in shadow order (earliest
+    /// deadline first, ties by task id), leaving the pool empty with its
+    /// shadow register cleared. The reconfiguration drain uses this to
+    /// carry in-flight work across a config switch exactly once; the
+    /// deterministic order makes the carried-entry sequence reproducible.
+    pub fn drain_all(&mut self) -> Vec<PoolEntry> {
+        let mut drained = self.entries.split_off(0);
+        drained.sort_unstable_by_key(shadow_key);
+        self.shadow_idx = None;
+        drained
+    }
+
     /// Removes and returns every non-critical entry (graceful degradation
     /// sheds best-effort work first). The shadow register is repaired once
     /// at the end; critical entries keep their relative state.
@@ -380,6 +392,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = IoPool::new(0);
+    }
+
+    #[test]
+    fn drain_all_empties_in_shadow_order() {
+        let mut p = IoPool::new(8);
+        p.insert(entry(5, 30, 1)).unwrap();
+        p.insert(entry(1, 10, 2)).unwrap();
+        p.insert(entry(9, 10, 1)).unwrap(); // same deadline as 1, higher id
+        let drained = p.drain_all();
+        let ids: Vec<u64> = drained.iter().map(|e| e.task_id).collect();
+        assert_eq!(ids, vec![1, 9, 5]);
+        assert!(p.is_empty());
+        assert_eq!(p.shadow(), None);
+        // The pool stays usable after a drain.
+        p.insert(entry(2, 4, 1)).unwrap();
+        assert_eq!(p.shadow().unwrap().task_id, 2);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Seeded-bad fixture for the live-config-mutation rule: a running
+//! system's configuration fields patched in place — no staging, no
+//! offline verification, no hyperperiod-aligned switch. Every mutation
+//! below is exactly the shape `ioguard-reconfig` exists to replace. CI
+//! runs `ioguard-lint -- check` over this file and asserts a non-zero
+//! exit.
+
+pub struct LiveSystem {
+    pub predefined: Vec<u64>,
+    pub watchdog: Option<u64>,
+    pub admission_guard: Option<u64>,
+    pub degradation: u64,
+}
+
+/// Hot-patches the live system: three in-place config mutations, each a
+/// `live-config-mutation` finding.
+pub fn patch_running_system(live: &mut LiveSystem, beat: u64) {
+    live.predefined = vec![beat];
+    live.watchdog = None;
+    live.admission_guard = Some(beat);
+}
+
+impl LiveSystem {
+    /// The legal shape for comparison: a consuming builder, applied before
+    /// the system goes live — exempt from the rule.
+    pub fn with_degradation(mut self, policy: u64) -> Self {
+        self.degradation = policy;
+        self
+    }
+
+    /// Reading config is fine; only assignment trips the rule.
+    pub fn is_guarded(&self) -> bool {
+        self.admission_guard.is_some()
+    }
+}

@@ -45,6 +45,13 @@ pub mod rule {
     pub const RELAXED_ORDERING: &str = "relaxed-ordering";
     /// A lock/park/sleep/join reachable from a `// lint: hot-path` function.
     pub const BLOCKING_IN_HOT_PATH: &str = "blocking-in-hot-path";
+    /// A plain assignment to a live configuration field (σ\* layout,
+    /// scheduling policy, servers, watchdog/admission/degradation policies)
+    /// outside a consuming `(mut self)` builder: configuration changes on a
+    /// running system must go through the staged, verified, hyperperiod-
+    /// aligned reconfiguration protocol (`ioguard-reconfig`), never an
+    /// in-place patch.
+    pub const LIVE_CONFIG_MUTATION: &str = "live-config-mutation";
 }
 
 /// One reported violation.
@@ -98,6 +105,9 @@ pub struct RuleSet {
     pub nondeterminism: bool,
     /// Deny keyed-container lookups in loops of annotated hot paths.
     pub hot_path: bool,
+    /// Deny in-place assignments to live configuration fields outside
+    /// consuming builders.
+    pub live_config: bool,
 }
 
 /// Crates whose library code must be panic-free (hypervisor hot paths and
@@ -107,10 +117,17 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
     "ioguard-sched",
     "ioguard-noc",
     "ioguard-obs",
+    "ioguard-reconfig",
 ];
 
 /// Crates whose `u64` time/slot arithmetic must be checked/saturating.
-pub const CHECKED_ARITH_CRATES: &[&str] = &["ioguard-sched", "ioguard-hypervisor"];
+pub const CHECKED_ARITH_CRATES: &[&str] =
+    &["ioguard-sched", "ioguard-hypervisor", "ioguard-reconfig"];
+
+/// Crates where configuration is immutable once live: every change goes
+/// through the staged reconfiguration protocol, so plain assignments to
+/// config fields outside consuming builders are forbidden.
+pub const LIVE_CONFIG_CRATES: &[&str] = &["ioguard-hypervisor", "ioguard-reconfig"];
 
 /// Crates on the deterministic-simulation path: no hash-ordered containers,
 /// no wall clocks.
@@ -122,6 +139,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "ioguard-workload",
     "ioguard-baselines",
     "ioguard-obs",
+    "ioguard-reconfig",
 ];
 
 impl RuleSet {
@@ -134,6 +152,7 @@ impl RuleSet {
             cast_narrowing: true,
             nondeterminism: true,
             hot_path: true,
+            live_config: true,
         }
     }
 
@@ -146,6 +165,7 @@ impl RuleSet {
             cast_narrowing: CHECKED_ARITH_CRATES.contains(&name),
             nondeterminism: DETERMINISTIC_CRATES.contains(&name),
             hot_path: DETERMINISTIC_CRATES.contains(&name),
+            live_config: LIVE_CONFIG_CRATES.contains(&name),
         }
     }
 
@@ -156,7 +176,8 @@ impl RuleSet {
             || self.unchecked_arith
             || self.cast_narrowing
             || self.nondeterminism
-            || self.hot_path)
+            || self.hot_path
+            || self.live_config)
     }
 }
 
@@ -252,6 +273,28 @@ const HOT_LOOKUP_TOKENS: &[&str] = &[
     ".remove(&",
 ];
 
+/// Configuration fields that are immutable once a system is live. A plain
+/// `receiver.<field> = …` assignment outside a consuming `(mut self)`
+/// builder (and outside tests) is an in-place config patch — the exact
+/// shape the staged reconfiguration protocol replaces. Matched as whole
+/// field names, not `_`-components, so runtime state like `watchdog_state`
+/// never trips the rule.
+const LIVE_CONFIG_FIELDS: &[&str] = &[
+    "pchannel",
+    "policy",
+    "servers",
+    "task_sets",
+    "predefined",
+    "owners",
+    "sigma",
+    "reclaim",
+    "watchdog",
+    "degradation",
+    "admission_guard",
+    "pool_capacity",
+    "max_table_len",
+];
+
 /// Narrowing cast targets: anything below 64 bits loses range on the `u64`
 /// slot/time domain. `as usize`/`as u64`/`as i64`/`as f64` stay legal (the
 /// simulator asserts a 64-bit platform at compile time).
@@ -306,7 +349,75 @@ pub fn lint_file(file: &SourceFile, rules: RuleSet, out: &mut Vec<Violation>) {
         if rules.hot_path && line.in_hot_path && line.in_loop {
             check_hot_lookup(file, line, out);
         }
+        if rules.live_config && !line.in_builder {
+            check_live_config(file, line, out);
+        }
     }
+}
+
+/// In-place assignments to live configuration fields outside consuming
+/// builders: `receiver.<config-field> = …` where the `=` is a plain
+/// assignment (not `==`, `=>`, or a compound operator). Builders taking
+/// `mut self` by value are exempt via [`crate::scan::LineInfo::in_builder`];
+/// struct literals (`field: value`) never match the assignment shape.
+fn check_live_config(file: &SourceFile, line: &LineInfo, out: &mut Vec<Violation>) {
+    let Some(field) = find_live_config_assignment(&line.code) else {
+        return;
+    };
+    if file.allow_for(rule::LIVE_CONFIG_MUTATION, line).is_some() {
+        return;
+    }
+    out.push(Violation {
+        rule: rule::LIVE_CONFIG_MUTATION,
+        path: file.path.clone(),
+        line: line.number,
+        message: format!(
+            "in-place assignment to live config field `{field}` — stage a new \
+             config through the reconfiguration protocol (or a consuming \
+             `with_*` builder before activation)"
+        ),
+    });
+}
+
+/// The first live-config field assigned on the line, if any: a
+/// `.<field>` access with a real receiver, followed (after whitespace) by a
+/// single `=` that is not part of `==`, `=>` or a compound operator.
+fn find_live_config_assignment(code: &str) -> Option<&'static str> {
+    let bytes = code.as_bytes();
+    for field in LIVE_CONFIG_FIELDS {
+        let dotted = format!(".{field}");
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(&dotted) {
+            let at = start + pos;
+            start = at + 1;
+            // A real receiver ends just before the dot.
+            let has_receiver = at > 0 && {
+                let prev = bytes[at - 1] as char;
+                is_ident_char(prev) || prev == ')' || prev == ']'
+            };
+            if !has_receiver {
+                continue;
+            }
+            // Whole-field match: the name must end at an identifier boundary.
+            let end = at + dotted.len();
+            if bytes.get(end).is_some_and(|&b| is_ident_char(b as char)) {
+                continue;
+            }
+            // A plain `=` follows (skipping whitespace): assignment, not
+            // comparison (`==`), pattern arm (`=>`) or compound op (`+=`).
+            let mut j = end;
+            while bytes.get(j).is_some_and(|b| (*b as char).is_whitespace()) {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'=')
+                && bytes.get(j + 1) != Some(&b'=')
+                && bytes.get(j + 1) != Some(&b'>')
+            {
+                return Some(field);
+            }
+        }
+    }
+    None
 }
 
 /// Keyed lookups in loops of hot-path-annotated functions.
@@ -1018,6 +1129,71 @@ mod tests {
             rules,
         );
         assert!(v.iter().any(|v| v.rule == rule::HOT_PATH_LOOKUP), "{v:?}");
+    }
+
+    #[test]
+    fn flags_live_config_mutation_outside_builders() {
+        let v = lint_src(
+            "fn patch(live: &mut Hv) {\n    live.predefined = Vec::new();\n    live.params.watchdog = None;\n}\n",
+            RuleSet::all(),
+        );
+        assert_eq!(
+            v.iter()
+                .filter(|v| v.rule == rule::LIVE_CONFIG_MUTATION)
+                .count(),
+            2,
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn builder_config_assignment_is_legal() {
+        let v = lint_src(
+            "impl P {\n    pub fn with_policy(mut self, p: G) -> Self {\n        self.policy = p;\n        self\n    }\n}\n",
+            RuleSet::all(),
+        );
+        assert!(
+            v.iter().all(|v| v.rule != rule::LIVE_CONFIG_MUTATION),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn comparisons_literals_and_lookalikes_do_not_trip_live_config() {
+        let v = lint_src(
+            "fn f(p: &P) -> bool {\n\
+             let same = p.policy == other.policy;\n\
+             let s = Params { policy: g() };\n\
+             let n = p.policy_epoch = 3;\n\
+             match k { K::A if p.watchdog => {} _ => {} }\n\
+             same\n}\n",
+            RuleSet::all(),
+        );
+        assert!(
+            v.iter().all(|v| v.rule != rule::LIVE_CONFIG_MUTATION),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn justified_live_config_mutation_is_allowed() {
+        let v = lint_src(
+            "fn f(p: &mut P) {\n    p.degradation = d; // lint: allow(live-config-mutation) — pre-activation setup before the system goes live\n}\n",
+            RuleSet::all(),
+        );
+        assert!(
+            v.iter().all(|v| v.rule != rule::LIVE_CONFIG_MUTATION),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn live_config_rule_scopes_to_hypervisor_and_reconfig() {
+        assert!(RuleSet::for_crate("ioguard-hypervisor").live_config);
+        let r = RuleSet::for_crate("ioguard-reconfig");
+        assert!(r.live_config && r.panic_site && r.unchecked_arith && r.nondeterminism);
+        assert!(!RuleSet::for_crate("ioguard-faults").live_config);
+        assert!(!RuleSet::for_crate("ioguard-core").live_config);
     }
 
     #[test]

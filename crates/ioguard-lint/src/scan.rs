@@ -75,6 +75,11 @@ pub struct LineInfo {
     /// True when the line sits inside (or on the header of) a `for`/
     /// `while`/`loop` body.
     pub in_loop: bool,
+    /// True when the line sits inside a consuming-builder method — a
+    /// function taking `mut self` by value (`fn with_x(mut self, ..)`).
+    /// Builders are the one legitimate place to assign configuration
+    /// fields; the live-config-mutation rule exempts them.
+    pub in_builder: bool,
     /// Rules allowed on this line (same-line or preceding-line directives).
     pub allows: Vec<Allow>,
 }
@@ -123,6 +128,10 @@ impl SourceFile {
         let mut loop_stack: Vec<usize> = Vec::new();
         let mut loop_armed = false;
         let mut fn_armed = false;
+        // Builder tracking: a `(mut self` parameter list arms a region
+        // opening at the next `{` — the consuming builder's body.
+        let mut builder_stack: Vec<usize> = Vec::new();
+        let mut builder_armed = false;
 
         for (idx, (code, comment)) in stripped.into_iter().enumerate() {
             let number = idx + 1;
@@ -146,13 +155,18 @@ impl SourceFile {
             let in_test_before = !test_stack.is_empty();
             let in_hot_before = !hot_stack.is_empty();
             let in_loop_before = !loop_stack.is_empty();
+            let in_builder_before = !builder_stack.is_empty();
             let mut saw_hot = false;
             let mut saw_loop = false;
+            let mut saw_builder = false;
             if code.contains("#[cfg(test)]") || code.contains("#[test]") {
                 test_attr_armed = true;
             }
             if comment.contains("lint: hot-path") {
                 hot_armed = true;
+            }
+            if code.contains("(mut self") {
+                builder_armed = true;
             }
             let bytes = code.as_bytes();
             let mut j = 0;
@@ -195,6 +209,11 @@ impl SourceFile {
                             loop_stack.push(depth);
                             saw_loop = true;
                         }
+                        if builder_armed {
+                            builder_stack.push(depth);
+                            builder_armed = false;
+                            saw_builder = true;
+                        }
                         loop_armed = false;
                         fn_armed = false;
                         depth += 1;
@@ -207,6 +226,9 @@ impl SourceFile {
                         if hot_stack.last().is_some_and(|&d| d >= depth) {
                             hot_stack.pop();
                         }
+                        if builder_stack.last().is_some_and(|&d| d >= depth) {
+                            builder_stack.pop();
+                        }
                         while loop_stack.last().is_some_and(|&d| d >= depth) {
                             loop_stack.pop();
                         }
@@ -218,6 +240,7 @@ impl SourceFile {
                         test_attr_armed = false;
                         hot_armed = false;
                         fn_armed = false;
+                        builder_armed = false;
                     }
                     _ => {}
                 }
@@ -226,6 +249,8 @@ impl SourceFile {
             let in_test = in_test_before || !test_stack.is_empty() || test_attr_armed;
             let in_hot_path = in_hot_before || !hot_stack.is_empty() || saw_hot;
             let in_loop = in_loop_before || !loop_stack.is_empty() || saw_loop || loop_armed;
+            let in_builder =
+                in_builder_before || !builder_stack.is_empty() || saw_builder || builder_armed;
 
             lines.push(LineInfo {
                 number,
@@ -233,6 +258,7 @@ impl SourceFile {
                 in_test,
                 in_hot_path,
                 in_loop,
+                in_builder,
                 allows,
             });
         }
@@ -647,6 +673,17 @@ mod tests {
         let f = parse("fn f() {\n    items.for_each(|x| use_it(x));\n    let looping = 3;\n}\n");
         assert!(!f.lines[1].in_loop);
         assert!(!f.lines[2].in_loop);
+    }
+
+    #[test]
+    fn builder_methods_mark_their_bodies() {
+        let text = "impl P {\n    pub fn with_policy(mut self, p: u64) -> Self {\n        self.policy = p;\n        self\n    }\n    pub fn apply(&mut self, p: u64) {\n        self.policy = p;\n    }\n}\n";
+        let f = parse(text);
+        assert!(f.lines[1].in_builder, "builder header line");
+        assert!(f.lines[2].in_builder, "builder body line");
+        assert!(f.lines[4].in_builder, "builder closing brace");
+        assert!(!f.lines[5].in_builder, "&mut self method is not a builder");
+        assert!(!f.lines[6].in_builder, "&mut self body is not a builder");
     }
 
     #[test]

@@ -87,6 +87,28 @@ fn seeded_hotpath_fixture_is_rejected() {
 }
 
 #[test]
+fn seeded_liveconfig_fixture_is_rejected() {
+    let path = fixture("bad_liveconfig.rs");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    assert_eq!(
+        violations
+            .iter()
+            .filter(|v| v.rule == rule::LIVE_CONFIG_MUTATION)
+            .count(),
+        3,
+        "all three in-place config patches flagged: {violations:?}"
+    );
+    // The builder method and the read-only accessor must stay clean — the
+    // fixture seeds exactly one rule.
+    assert!(
+        violations
+            .iter()
+            .all(|v| v.rule == rule::LIVE_CONFIG_MUTATION),
+        "{violations:?}"
+    );
+}
+
+#[test]
 fn seeded_lockorder_fixture_is_rejected() {
     let path = fixture("bad_lockorder.rs");
     let violations = check_paths(&[path.as_path()]).expect("fixture readable");

@@ -74,6 +74,22 @@ pub enum ObsKind {
     /// Free-form marker for scenario phase boundaries. `task`/`arg` are
     /// caller-defined.
     Marker,
+    /// A candidate configuration was staged beside the running system.
+    /// `task` = stage id, `arg` = staged VM count.
+    ReconfigStage,
+    /// A staged configuration finished offline verification. `task` =
+    /// stage id, `arg` = 1 when committable, 0 when rejected.
+    ReconfigVerify,
+    /// A verified stage was committed and became the live configuration.
+    /// `task` = stage id (the new epoch), `arg` = switch slot (global).
+    ReconfigCommit,
+    /// A staged or in-flight reconfiguration was abandoned and the old
+    /// configuration kept running. `task` = stage id, `arg` = typed
+    /// reject-reason ordinal.
+    ReconfigAbort,
+    /// Drain progress at a commit boundary. `task` = stage id, `arg` =
+    /// drain latency in slots (emitted once, when the drain completes).
+    ReconfigDrain,
 }
 
 /// All kinds, in ordinal order (for exports and exhaustive folds).
@@ -98,6 +114,11 @@ pub const ALL_KINDS: &[ObsKind] = &[
     ObsKind::NocDrop,
     ObsKind::NocCorrupt,
     ObsKind::Marker,
+    ObsKind::ReconfigStage,
+    ObsKind::ReconfigVerify,
+    ObsKind::ReconfigCommit,
+    ObsKind::ReconfigAbort,
+    ObsKind::ReconfigDrain,
 ];
 
 impl ObsKind {
@@ -124,6 +145,11 @@ impl ObsKind {
             ObsKind::NocDrop => "noc-drop",
             ObsKind::NocCorrupt => "noc-corrupt",
             ObsKind::Marker => "marker",
+            ObsKind::ReconfigStage => "reconfig-stage",
+            ObsKind::ReconfigVerify => "reconfig-verify",
+            ObsKind::ReconfigCommit => "reconfig-commit",
+            ObsKind::ReconfigAbort => "reconfig-abort",
+            ObsKind::ReconfigDrain => "reconfig-drain",
         }
     }
 }

@@ -1,0 +1,460 @@
+//! Staged configurations and the offline admission pipeline.
+//!
+//! A [`StagedConfig`] is a complete description of a candidate system —
+//! VM population, per-VM servers and declared task sets, pre-defined
+//! P-channel load, pool capacity and the robustness knobs — built *beside*
+//! the running hypervisor. It becomes committable only by passing
+//! [`StagedConfig::verify`]: the static well-formedness checks plus the
+//! exact Theorem 1/3 schedulability tests. Verification is proof-carrying:
+//! the only way to obtain a [`VerifiedConfig`] (the type the commit path
+//! accepts) is through the pipeline, so an unverified candidate cannot
+//! reach the live system by construction. Rejection is the default — a
+//! failed stage yields a typed [`RejectReason`] and the old configuration
+//! keeps running untouched.
+
+use serde::{Deserialize, Serialize};
+
+use ioguard_hypervisor::driver::RetryPolicy;
+use ioguard_hypervisor::error::HvError;
+use ioguard_hypervisor::gsched::GschedPolicy;
+use ioguard_hypervisor::hypervisor::{
+    AdmissionGuard, DegradationPolicy, HypervisorParams, DEFAULT_POOL_CAPACITY,
+};
+use ioguard_hypervisor::pchannel::PredefinedTask;
+use ioguard_hypervisor::Hypervisor;
+use ioguard_sched::analysis::{TwoLayerAnalysis, TwoLayerVerdict};
+use ioguard_sched::task::{PeriodicServer, TaskSet};
+use ioguard_sched::verify::{IncrementalVerifier, ReverifyStats};
+use ioguard_sched::SchedError;
+
+/// Why a staged configuration was rejected (or an in-flight commit
+/// aborted). Every variant carries enough to act on; [`Self::ordinal`] is
+/// the stable code carried in `ReconfigAbort` trace events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The candidate has no VMs.
+    EmptyPopulation,
+    /// The candidate's pool capacity is zero.
+    ZeroPoolCapacity,
+    /// VM count, server count and task-set count disagree.
+    PopulationMismatch {
+        /// Declared VM count.
+        vms: usize,
+        /// Number of periodic servers.
+        servers: usize,
+        /// Number of per-VM task sets.
+        task_sets: usize,
+    },
+    /// The pre-defined tasks do not fit a feasible σ\*.
+    InfeasibleTable {
+        /// Constructor diagnostic.
+        reason: String,
+    },
+    /// The schedulability analysis itself could not run.
+    Analysis(SchedError),
+    /// The exact tests ran and the candidate is not schedulable.
+    Unschedulable {
+        /// True when Theorem 1 (the global layer) passed.
+        global_ok: bool,
+        /// VMs failing their Theorem 3 test.
+        failing_vms: Vec<usize>,
+    },
+    /// The quiesce window to the next hyperperiod boundary exceeds the
+    /// drain latency budget.
+    DrainBudgetExceeded {
+        /// Slots from commit acceptance to the boundary.
+        needed: u64,
+        /// Configured bound.
+        budget: u64,
+    },
+    /// A commit is already draining; back-to-back flips must wait.
+    SwitchPending,
+    /// No verified stage is held (commit without a successful stage).
+    NothingStaged,
+    /// The old system left [`ioguard_hypervisor::hypervisor::HvMode::Normal`]
+    /// during the drain (device fault mid-quiesce): the switch is aborted
+    /// and the old configuration keeps running.
+    DegradedAtBoundary,
+    /// Building the successor hypervisor failed at the switch point.
+    Activation(HvError),
+    /// The operator rolled back an in-flight stage or commit explicitly.
+    Cancelled,
+}
+
+impl RejectReason {
+    /// Stable ordinal carried in `ReconfigAbort` events' `arg` field.
+    pub fn ordinal(&self) -> u64 {
+        match self {
+            RejectReason::EmptyPopulation => 0,
+            RejectReason::ZeroPoolCapacity => 1,
+            RejectReason::PopulationMismatch { .. } => 2,
+            RejectReason::InfeasibleTable { .. } => 3,
+            RejectReason::Analysis(_) => 4,
+            RejectReason::Unschedulable { .. } => 5,
+            RejectReason::DrainBudgetExceeded { .. } => 6,
+            RejectReason::SwitchPending => 7,
+            RejectReason::NothingStaged => 8,
+            RejectReason::DegradedAtBoundary => 9,
+            RejectReason::Activation(_) => 10,
+            RejectReason::Cancelled => 11,
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::EmptyPopulation => write!(f, "candidate has no VMs"),
+            RejectReason::ZeroPoolCapacity => write!(f, "pool capacity must be positive"),
+            RejectReason::PopulationMismatch {
+                vms,
+                servers,
+                task_sets,
+            } => write!(
+                f,
+                "population mismatch: {vms} VMs, {servers} servers, {task_sets} task sets"
+            ),
+            RejectReason::InfeasibleTable { reason } => {
+                write!(f, "infeasible time slot table: {reason}")
+            }
+            RejectReason::Analysis(e) => write!(f, "schedulability analysis failed: {e}"),
+            RejectReason::Unschedulable {
+                global_ok,
+                failing_vms,
+            } => write!(
+                f,
+                "candidate unschedulable (global ok: {global_ok}, failing VMs: {failing_vms:?})"
+            ),
+            RejectReason::DrainBudgetExceeded { needed, budget } => write!(
+                f,
+                "drain needs {needed} slots to the boundary, budget is {budget}"
+            ),
+            RejectReason::SwitchPending => write!(f, "a commit is already draining"),
+            RejectReason::NothingStaged => write!(f, "no verified stage held"),
+            RejectReason::DegradedAtBoundary => {
+                write!(f, "old system degraded during the drain; switch aborted")
+            }
+            RejectReason::Activation(e) => write!(f, "successor activation failed: {e}"),
+            RejectReason::Cancelled => write!(f, "rolled back by explicit abort"),
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// A complete candidate configuration, constructed beside the live system.
+///
+/// The G-Sched policy of a reconfig-managed system is always
+/// [`GschedPolicy::GuardedEdf`] over [`Self::servers`] — the budget-guarded
+/// variant is the one whose isolation the chaos battery proves, and using
+/// the same server vector for the policy and the analysis means the
+/// schedulability proof talks about exactly the parameters that run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagedConfig {
+    /// Per-VM periodic servers `Γ_i = (Π_i, Θ_i)` — one per VM, used both
+    /// as the GuardedEdf budgets and as Theorem 1/3 input.
+    pub servers: Vec<PeriodicServer>,
+    /// Per-VM declared sporadic workloads (Theorem 3 input).
+    pub task_sets: Vec<TaskSet>,
+    /// Pre-defined P-channel load (σ\* is built from this).
+    pub predefined: Vec<PredefinedTask>,
+    /// Hardware queue capacity of each I/O pool.
+    pub pool_capacity: usize,
+    /// Maximum σ\* hyper-period the banks can hold.
+    pub max_table_len: u64,
+    /// Optional per-transaction watchdog.
+    pub watchdog: Option<RetryPolicy>,
+    /// Graceful-degradation tuning.
+    pub degradation: DegradationPolicy,
+    /// Optional submission flood control.
+    pub admission_guard: Option<AdmissionGuard>,
+}
+
+impl StagedConfig {
+    /// A minimal candidate: the given servers and task sets, no P-channel
+    /// load, default capacity and robustness knobs.
+    pub fn new(servers: Vec<PeriodicServer>, task_sets: Vec<TaskSet>) -> Self {
+        Self {
+            servers,
+            task_sets,
+            predefined: Vec::new(),
+            pool_capacity: DEFAULT_POOL_CAPACITY,
+            max_table_len: 1 << 22,
+            watchdog: None,
+            degradation: DegradationPolicy::default(),
+            admission_guard: None,
+        }
+    }
+
+    /// Declared VM count (one server per VM).
+    pub fn vm_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The construction parameters this candidate activates with.
+    pub fn params(&self) -> HypervisorParams {
+        HypervisorParams {
+            vms: self.servers.len(),
+            pool_capacity: self.pool_capacity,
+            policy: GschedPolicy::GuardedEdf(self.servers.clone()),
+            predefined: self.predefined.clone(),
+            max_table_len: self.max_table_len,
+            reclaim: None,
+            watchdog: self.watchdog,
+            degradation: self.degradation,
+            admission_guard: self.admission_guard,
+        }
+    }
+
+    /// Runs the full offline admission pipeline from scratch: static
+    /// well-formedness, σ\* construction, then the exact Theorem 1/3
+    /// tests. See [`Self::verify_incremental`] for the cached path.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`RejectReason`]; the candidate never touches the live
+    /// system either way.
+    pub fn verify(&self) -> Result<VerifiedConfig, RejectReason> {
+        let analysis = self.static_checks()?;
+        let verdict = match analysis.schedulable() {
+            Ok(v) => v,
+            Err(e) => return Err(RejectReason::Analysis(e)),
+        };
+        self.finish_verify(analysis, verdict, ReverifyStats::default())
+    }
+
+    /// The admission pipeline with the incremental Theorem 1/3 path: tests
+    /// whose inputs match `verifier`'s cached configuration are reused
+    /// instead of recomputed. The verdict is identical to [`Self::verify`]
+    /// (proven differentially in the sched crate); the stats say how much
+    /// work was saved.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`RejectReason`], exactly as [`Self::verify`].
+    pub fn verify_incremental(
+        &self,
+        verifier: &IncrementalVerifier,
+    ) -> Result<VerifiedConfig, RejectReason> {
+        let analysis = self.static_checks()?;
+        let outcome = match verifier.reverify(&analysis) {
+            Ok(o) => o,
+            Err(e) => return Err(RejectReason::Analysis(e)),
+        };
+        self.finish_verify(analysis, outcome.verdict, outcome.stats)
+    }
+
+    /// Static (non-schedulability) checks, returning the analysis model.
+    fn static_checks(&self) -> Result<TwoLayerAnalysis, RejectReason> {
+        if self.servers.is_empty() {
+            return Err(RejectReason::EmptyPopulation);
+        }
+        if self.pool_capacity == 0 {
+            return Err(RejectReason::ZeroPoolCapacity);
+        }
+        if self.servers.len() != self.task_sets.len() {
+            return Err(RejectReason::PopulationMismatch {
+                vms: self.servers.len(),
+                servers: self.servers.len(),
+                task_sets: self.task_sets.len(),
+            });
+        }
+        // Build σ* offline exactly the way activation will, so a table
+        // that cannot be constructed is rejected here, not at the switch.
+        let probe = Hypervisor::new(self.params());
+        let table = match probe {
+            Ok(hv) => hv.pchannel().table().clone(),
+            Err(e) => {
+                return Err(RejectReason::InfeasibleTable {
+                    reason: e.to_string(),
+                })
+            }
+        };
+        match TwoLayerAnalysis::new(table, self.servers.clone(), self.task_sets.clone()) {
+            Ok(a) => Ok(a),
+            Err(e) => Err(RejectReason::Analysis(e)),
+        }
+    }
+
+    fn finish_verify(
+        &self,
+        analysis: TwoLayerAnalysis,
+        verdict: TwoLayerVerdict,
+        stats: ReverifyStats,
+    ) -> Result<VerifiedConfig, RejectReason> {
+        if !verdict.is_schedulable() {
+            return Err(RejectReason::Unschedulable {
+                global_ok: verdict.global.is_schedulable(),
+                failing_vms: verdict.failing_vms(),
+            });
+        }
+        Ok(VerifiedConfig {
+            config: self.clone(),
+            analysis,
+            verdict,
+            stats,
+        })
+    }
+}
+
+/// A candidate that passed the full admission pipeline — the only type the
+/// commit path accepts. Carries the proof (analysis model and verdict)
+/// alongside the configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifiedConfig {
+    pub(crate) config: StagedConfig,
+    pub(crate) analysis: TwoLayerAnalysis,
+    pub(crate) verdict: TwoLayerVerdict,
+    pub(crate) stats: ReverifyStats,
+}
+
+impl VerifiedConfig {
+    /// The verified candidate.
+    pub fn config(&self) -> &StagedConfig {
+        &self.config
+    }
+
+    /// The analysis model the verdict was proven against.
+    pub fn analysis(&self) -> &TwoLayerAnalysis {
+        &self.analysis
+    }
+
+    /// The proven (schedulable) two-layer verdict.
+    pub fn verdict(&self) -> &TwoLayerVerdict {
+        &self.verdict
+    }
+
+    /// How much of the pipeline was reused from the incremental cache
+    /// (all-zero for the from-scratch path).
+    pub fn stats(&self) -> ReverifyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioguard_sched::task::SporadicTask;
+
+    fn task(t: u64, c: u64, d: u64) -> SporadicTask {
+        SporadicTask::new(t, c, d).unwrap()
+    }
+
+    pub(crate) fn light_config() -> StagedConfig {
+        StagedConfig::new(
+            vec![
+                PeriodicServer::new(5, 2).unwrap(),
+                PeriodicServer::new(10, 3).unwrap(),
+            ],
+            vec![vec![task(20, 2, 10)].into(), vec![task(40, 4, 30)].into()],
+        )
+    }
+
+    #[test]
+    fn light_config_verifies() {
+        let v = light_config().verify().unwrap();
+        assert!(v.verdict().is_schedulable());
+        assert_eq!(v.config().vm_count(), 2);
+        assert_eq!(v.stats(), ReverifyStats::default());
+    }
+
+    #[test]
+    fn empty_population_rejected() {
+        let c = StagedConfig::new(vec![], vec![]);
+        assert_eq!(c.verify().unwrap_err(), RejectReason::EmptyPopulation);
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let mut c = light_config();
+        c.pool_capacity = 0;
+        assert_eq!(c.verify().unwrap_err(), RejectReason::ZeroPoolCapacity);
+    }
+
+    #[test]
+    fn population_mismatch_rejected() {
+        let mut c = light_config();
+        c.task_sets.pop();
+        assert!(matches!(
+            c.verify().unwrap_err(),
+            RejectReason::PopulationMismatch {
+                vms: 2,
+                servers: 2,
+                task_sets: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn overloaded_vm_rejected_with_failing_set() {
+        let mut c = light_config();
+        c.task_sets = vec![
+            vec![task(20, 2, 10)].into(),
+            vec![task(10, 9, 10)].into(), // utilization 0.9 ≫ server 0.3
+        ];
+        match c.verify().unwrap_err() {
+            RejectReason::Unschedulable {
+                global_ok,
+                failing_vms,
+            } => {
+                assert!(global_ok);
+                assert_eq!(failing_vms, vec![1]);
+            }
+            other => panic!("expected Unschedulable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_table_rejected() {
+        let mut c = light_config();
+        c.predefined = vec![PredefinedTask {
+            task_id: 1,
+            vm: 0,
+            task: SporadicTask::implicit(7, 3).unwrap(),
+            response_bytes: 64,
+            start_offset: 0,
+        }];
+        c.max_table_len = 3; // hyper-period 7 > 3
+        assert!(matches!(
+            c.verify().unwrap_err(),
+            RejectReason::InfeasibleTable { .. }
+        ));
+    }
+
+    #[test]
+    fn incremental_verify_matches_full() {
+        let base = light_config();
+        let full = base.verify().unwrap();
+        let verifier = IncrementalVerifier::new(full.analysis().clone()).unwrap();
+        // Change only VM 1's task set.
+        let mut next = base.clone();
+        next.task_sets = vec![vec![task(20, 2, 10)].into(), vec![task(40, 2, 30)].into()];
+        let inc = next.verify_incremental(&verifier).unwrap();
+        let scratch = next.verify().unwrap();
+        assert_eq!(inc.verdict(), scratch.verdict());
+        assert!(!inc.stats().global_rerun);
+        assert_eq!(inc.stats().vms_rerun, 1);
+        assert_eq!(inc.stats().vms_reused, 1);
+    }
+
+    #[test]
+    fn reject_reason_ordinals_are_stable() {
+        assert_eq!(RejectReason::EmptyPopulation.ordinal(), 0);
+        assert_eq!(
+            RejectReason::DrainBudgetExceeded {
+                needed: 9,
+                budget: 4
+            }
+            .ordinal(),
+            6
+        );
+        assert_eq!(RejectReason::DegradedAtBoundary.ordinal(), 9);
+        let shown = RejectReason::DrainBudgetExceeded {
+            needed: 9,
+            budget: 4,
+        }
+        .to_string();
+        assert!(shown.contains("9") && shown.contains("4"), "{shown}");
+    }
+}

@@ -52,8 +52,10 @@ pub mod lsched;
 pub mod sensitivity;
 pub mod table;
 pub mod task;
+pub mod verify;
 
 pub use analysis::{TwoLayerAnalysis, TwoLayerVerdict};
 pub use error::SchedError;
 pub use table::TimeSlotTable;
 pub use task::{PeriodicServer, SporadicTask, TaskSet};
+pub use verify::{IncrementalVerifier, ReverifyOutcome, ReverifyStats};

@@ -1,7 +1,8 @@
 //! Golden-trace regression tests for the observability layer.
 //!
-//! Two canonical scenarios — the healthy end-to-end run and the shrunk
-//! device-stall chaos trial from `ioguard_core::observe` — are rendered to
+//! Three canonical scenarios — the healthy end-to-end run, the shrunk
+//! device-stall chaos trial and the stage → verify → commit → drain online
+//! reconfiguration from `ioguard_core::observe` — are rendered to
 //! text and compared **byte-for-byte** against goldens committed under
 //! `tests/goldens/`. Each scenario additionally runs as a batch of eight
 //! identical trials through the work-stealing engine at one and at eight
@@ -18,13 +19,16 @@
 //! and review the diff like any other code change.
 
 use ioguard_core::engine::run_indexed;
-use ioguard_core::observe::{chaos_observed, end_to_end_observed, render_trace};
+use ioguard_core::observe::{
+    chaos_observed, end_to_end_observed, reconfig_observed, render_reconfig_trace, render_trace,
+};
 
 /// The pinned seed both goldens were generated with.
 const SEED: u64 = 0xD1CE;
 
 const GOLDEN_END_TO_END: &str = include_str!("../goldens/end_to_end.trace");
 const GOLDEN_CHAOS: &str = include_str!("../goldens/chaos.trace");
+const GOLDEN_RECONFIG: &str = include_str!("../goldens/reconfig.trace");
 
 fn end_to_end_trace(seed: u64) -> String {
     let run = end_to_end_observed(seed);
@@ -38,6 +42,20 @@ fn chaos_trace(seed: u64) -> String {
     assert_eq!(trial.hv_obs.sink.dropped(), 0, "hv sink must not evict");
     assert_eq!(trial.noc_sink.dropped(), 0, "noc sink must not evict");
     render_trace(&trial.hv_obs.sink, &trial.noc_sink)
+}
+
+fn reconfig_trace(seed: u64) -> String {
+    let run = reconfig_observed(seed);
+    assert_eq!(
+        run.reconfig_sink.dropped(),
+        0,
+        "reconfig sink must not evict"
+    );
+    for sink in &run.epoch_sinks {
+        assert_eq!(sink.dropped(), 0, "epoch sink must not evict");
+    }
+    assert!(run.totals.conserved(), "{:?}", run.totals);
+    render_reconfig_trace(&run)
 }
 
 fn assert_matches_golden(golden: &str, name: &str, render: impl Fn(u64) -> String + Sync) {
@@ -70,6 +88,11 @@ fn chaos_trace_matches_golden_at_any_thread_count() {
 }
 
 #[test]
+fn reconfig_trace_matches_golden_at_any_thread_count() {
+    assert_matches_golden(GOLDEN_RECONFIG, "reconfig", reconfig_trace);
+}
+
+#[test]
 #[ignore = "writes tests/goldens/*.trace; run only after an intentional trace change"]
 fn bless_goldens() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/goldens");
@@ -77,4 +100,6 @@ fn bless_goldens() {
     std::fs::write(format!("{dir}/end_to_end.trace"), end_to_end_trace(SEED))
         .expect("write end_to_end golden");
     std::fs::write(format!("{dir}/chaos.trace"), chaos_trace(SEED)).expect("write chaos golden");
+    std::fs::write(format!("{dir}/reconfig.trace"), reconfig_trace(SEED))
+        .expect("write reconfig golden");
 }

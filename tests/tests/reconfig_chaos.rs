@@ -1,0 +1,94 @@
+//! Reconfiguration chaos: online mode changes under seeded fault plans.
+//!
+//! The [`ReconfigSweep`] battery flips a live hypervisor between a two-VM
+//! and a three-VM population mid-trial — while devices stall, adversaries
+//! babble, and flips queue back-to-back — and asserts the two guarantees
+//! the online-reconfiguration protocol makes:
+//!
+//! * **Exactly-once** — every accepted job is completed, missed, shed or
+//!   accounted as departed-VM teardown, across every epoch; nothing is
+//!   dropped or double-dispatched over a switch boundary.
+//! * **Bounded drain** — no completed switch ever exceeds the drain budget
+//!   the commit was admitted under.
+//!
+//! As with the isolation battery, a sweep's outcome vector must be
+//! bit-identical at one thread and at many for the same seed. CI pins the
+//! sweep seed via `IOGUARD_CHAOS_SEED` and runs the suite twice; locally
+//! the default seed applies.
+
+use ioguard_core::chaos::ReconfigSweep;
+use ioguard_faults::{FaultPlan, ReconfigScenario};
+
+/// Sweep seed: `IOGUARD_CHAOS_SEED` when set (CI pins two values), else 42.
+fn chaos_seed() -> u64 {
+    std::env::var("IOGUARD_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+#[test]
+fn reconfig_sweep_is_bit_identical_at_one_and_many_threads() {
+    let seed = chaos_seed();
+    let single = ReconfigSweep::standard(seed, 2, 1).run().expect("1 thread");
+    let multi = ReconfigSweep::standard(seed, 2, 8)
+        .run()
+        .expect("8 threads");
+    assert_eq!(
+        single.outcomes, multi.outcomes,
+        "reconfig outcome vectors must match bit-for-bit across thread counts"
+    );
+    assert_eq!(
+        single.render(),
+        multi.render(),
+        "rendered sweep digests must match byte-for-byte"
+    );
+}
+
+#[test]
+fn reconfig_sweep_conserves_work_and_bounds_drains() {
+    let report = ReconfigSweep::standard(chaos_seed(), 2, 4)
+        .run()
+        .expect("sweep runs");
+    assert!(
+        report.conservation_violations().is_empty(),
+        "every trial must balance its job ledger: {:?}",
+        report.conservation_violations()
+    );
+    assert!(
+        report.drain_bound_violations().is_empty(),
+        "no completed switch may blow its drain budget: {:?}",
+        report.drain_bound_violations()
+    );
+    assert!(
+        report.total_switches() > 0,
+        "the battery is vacuous if no flip ever lands"
+    );
+}
+
+#[test]
+fn faulted_flips_never_leave_the_system_draining_forever() {
+    let mut scenario =
+        ReconfigScenario::new(FaultPlan::new(chaos_seed()).with_device_stalls(0.5, 48));
+    scenario.horizon = 2_000;
+    let outcome = scenario.run().expect("scenario runs");
+    // Every commit resolves: it either switched, aborted at a degraded
+    // boundary, or is still inside the (bounded) final drain window.
+    assert_eq!(
+        outcome.commits,
+        outcome.switches + outcome.boundary_aborts + u64::from(outcome.draining_at_end),
+        "{outcome:?}"
+    );
+    assert!(outcome.conserved, "{outcome:?}");
+    assert!(outcome.drain_within_budget, "{outcome:?}");
+}
+
+#[test]
+fn reconfig_outcomes_replay_bit_identically() {
+    let run = || {
+        let mut s = ReconfigScenario::new(FaultPlan::new(chaos_seed()).with_adversary(1, 6));
+        s.plan.malformed_rate = 0.2;
+        s.run().expect("scenario runs")
+    };
+    assert_eq!(run(), run());
+}
