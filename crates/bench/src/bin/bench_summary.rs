@@ -44,6 +44,7 @@
 use std::time::Instant;
 
 use ioguard_core::casestudy::{run_trial, SystemUnderTest};
+use ioguard_fleet::{Fleet, FleetConfig, PlacementPolicy};
 use ioguard_hypervisor::pchannel::PredefinedTask;
 use ioguard_noc::network::{Delivery, Network, NetworkConfig, NetworkStats, NocFabric};
 use ioguard_noc::obs::ObservedFabric;
@@ -51,10 +52,14 @@ use ioguard_noc::packet::Packet;
 use ioguard_noc::parallel::ParallelNetwork;
 use ioguard_noc::reference::ReferenceNetwork;
 use ioguard_noc::topology::NodeId;
+use ioguard_obs::Histogram;
 use ioguard_reconfig::{ReconfigController, StagedConfig};
+use ioguard_sched::ledger::{theorem1_frame, DemandLedger};
+use ioguard_sched::table::TimeSlotTable;
 use ioguard_sched::task::{PeriodicServer, SporadicTask};
 use ioguard_sim::rng::Xoshiro256StarStar;
 use ioguard_workload::generator::{TrialConfig, TrialWorkload};
+use ioguard_workload::{FleetArrivalConfig, FleetArrivals};
 
 /// Payload flits per packet (5 flits on the wire with the header).
 const PAYLOAD_FLITS: u32 = 4;
@@ -81,6 +86,17 @@ struct Mode {
     reps: u32,
     /// Completed mode changes in the reconfig drain-latency lane.
     reconfig_flips: u64,
+    /// Resident VMs in the admission lane's ledger before timing starts.
+    admission_residents: u64,
+    /// Timed admit/evict pairs in the admission lane.
+    admission_pairs: u64,
+    /// ≥10x incremental-vs-full floor of the admission lane (enforced only
+    /// on hosts with at least `admission_min_cores` hardware threads).
+    admission_floor: f64,
+    /// Host parallelism required before the admission floor is enforced.
+    admission_min_cores: usize,
+    /// Lifecycle events in the fleet decision-latency run.
+    fleet_events: usize,
 }
 
 impl Mode {
@@ -96,6 +112,11 @@ impl Mode {
             scaling_min_cores: 4,
             reps: 1,
             reconfig_flips: 16,
+            admission_residents: 10_000,
+            admission_pairs: 64,
+            admission_floor: 10.0,
+            admission_min_cores: 2,
+            fleet_events: 100_000,
         }
     }
 
@@ -111,6 +132,11 @@ impl Mode {
             scaling_min_cores: 8,
             reps: 3,
             reconfig_flips: 64,
+            admission_residents: 10_000,
+            admission_pairs: 256,
+            admission_floor: 10.0,
+            admission_min_cores: 2,
+            fleet_events: 100_000,
         }
     }
 }
@@ -376,6 +402,129 @@ fn reconfig_drain_lane(flips: u64) -> DrainLane {
     }
 }
 
+/// What the incremental-admission lane measured.
+struct AdmissionLane {
+    frame: u64,
+    residents: u64,
+    /// Best full Theorem 1 sweep over the resident set, seconds.
+    full_sweep_secs: f64,
+    /// Mean per-decision (admit or evict) cost on the ledger, seconds.
+    per_decision_secs: f64,
+    /// `full_sweep_secs / per_decision_secs` — the O(Δ) payoff.
+    speedup: f64,
+    /// Fleet decision-latency run: event count and outcome counters.
+    fleet_events: u64,
+    fleet_placed: u64,
+    fleet_spilled: u64,
+    fleet_dropped: u64,
+    fleet_local_rejects: u64,
+    fleet_departed: u64,
+    fleet_residents_final: u64,
+    /// Per-decision wall latency over the whole fleet run, nanoseconds.
+    latency_p50_ns: u64,
+    latency_p95_ns: u64,
+    latency_max_ns: u64,
+}
+
+/// Times the incremental admission path (DESIGN.md §15) two ways.
+///
+/// **Speedup**: one [`DemandLedger`] at `frame = 2²⁰` is populated with
+/// `residents` VMs (harmonic periods 2¹⁴..2¹⁷, Θ = 1 — the classic
+/// many-small-reservations shape), then `pairs` admit/evict decisions are
+/// timed against re-running the full Theorem 1 frame sweep from scratch.
+/// The ledger's answer is verified against the sweep's before timing.
+///
+/// **Latency**: a 10⁵-event churn stream drives an 8-shard fleet; every
+/// `Fleet::apply` is timed individually into a log-bucketed histogram,
+/// giving per-decision p50/p95/max under realistic mixed traffic
+/// (placements, rejections, spillover retries, departures).
+fn admission_lane(mode: &Mode) -> AdmissionLane {
+    const FRAME: u64 = 1 << 20;
+    let sigma = TimeSlotTable::from_occupied(64, &[0]).expect("benchmark σ* is valid");
+    let mut ledger = DemandLedger::new(sigma.clone(), FRAME).expect("harmonic benchmark frame");
+    let menu = [1u64 << 14, 1 << 15, 1 << 16, 1 << 17];
+    let mut servers = Vec::with_capacity(mode.admission_residents as usize);
+    for id in 0..mode.admission_residents {
+        let pi = menu[(id % menu.len() as u64) as usize];
+        let server = PeriodicServer::new(pi, 1).expect("benchmark server is valid");
+        let outcome = ledger.admit(id, server).expect("harmonic period");
+        assert!(
+            outcome.admitted(),
+            "admission lane residents must all fit (vm {id})"
+        );
+        servers.push(server);
+    }
+
+    // Oracle first: the incremental verdict must match the full sweep
+    // before either is worth timing.
+    let oracle = theorem1_frame(&sigma, &servers, FRAME);
+    assert_eq!(ledger.verdict(), oracle, "incremental verdict diverged");
+    assert!(oracle.is_schedulable());
+    let (full_sweep_secs, _) = time_runs(mode.reps, || theorem1_frame(&sigma, &servers, FRAME));
+
+    // Timed admit/evict pairs at full population: the steady-state cost
+    // of one fleet decision.
+    let candidate = PeriodicServer::new(1 << 14, 1).expect("benchmark server is valid");
+    let pairs = mode.admission_pairs.max(1);
+    let start = Instant::now();
+    for i in 0..pairs {
+        let id = 1_000_000 + i;
+        let outcome = ledger.admit(id, candidate).expect("harmonic period");
+        assert!(outcome.admitted(), "timed candidate must fit");
+        ledger.evict(id).expect("candidate is resident");
+    }
+    let per_decision_secs = start.elapsed().as_secs_f64() / (2 * pairs) as f64;
+    let speedup = full_sweep_secs / per_decision_secs.max(f64::MIN_POSITIVE);
+
+    // Fleet decision latency under churn.
+    let seed = 0xF1EE7;
+    let stream = FleetArrivals::generate(&FleetArrivalConfig::new(mode.fleet_events, 300, seed));
+    let config = FleetConfig::new(8, PlacementPolicy::WorstFitBySlack, seed);
+    let mut fleet = Fleet::new(config).expect("benchmark fleet config is valid");
+    let mut latency = Histogram::new();
+    for event in stream.events() {
+        let begun = Instant::now();
+        let _ = fleet.apply(event);
+        latency.record(begun.elapsed().as_nanos() as u64);
+    }
+    let stats = fleet.stats();
+    AdmissionLane {
+        frame: FRAME,
+        residents: mode.admission_residents,
+        full_sweep_secs,
+        per_decision_secs,
+        speedup,
+        fleet_events: stream.events().len() as u64,
+        fleet_placed: stats.placed,
+        fleet_spilled: stats.spilled,
+        fleet_dropped: stats.dropped,
+        fleet_local_rejects: stats.local_rejects,
+        fleet_departed: stats.departed,
+        fleet_residents_final: fleet.resident_count() as u64,
+        latency_p50_ns: latency.percentile(0.50).unwrap_or(0),
+        latency_p95_ns: latency.percentile(0.95).unwrap_or(0),
+        latency_max_ns: latency.max().unwrap_or(0),
+    }
+}
+
+/// Pulls the single-line `history` entries out of a previous
+/// `BENCH_noc.json`, oldest first. Entries are written one per line as
+/// compact JSON objects starting with `{"mode":`, so line-wise scanning
+/// recovers them without a JSON parser.
+fn prior_history(path: &str, keep: usize) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let entries: Vec<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|line| line.starts_with("{\"mode\":"))
+        .map(|line| line.trim_end_matches(',').to_string())
+        .collect();
+    let skip = entries.len().saturating_sub(keep);
+    entries.into_iter().skip(skip).collect()
+}
+
 /// slots/s of `run_trial` for one Fig. 7 system.
 fn slot_rate(system: SystemUnderTest, workload: &TrialWorkload, horizon: u64, reps: u32) -> f64 {
     let (secs, _) = time_runs(reps, || run_trial(system, workload, 7, horizon));
@@ -521,6 +670,23 @@ fn main() {
         drain.stage_verify_secs * 1e3,
     );
 
+    // Incremental admission lane: per-decision O(Δ) ledger cost vs the
+    // full Theorem 1 sweep at 10⁴ residents, plus per-decision latency
+    // percentiles over a 10⁵-event fleet churn run (DESIGN.md §15).
+    let admission = admission_lane(&mode);
+    eprintln!(
+        "bench-summary: admission {} residents, full sweep {:.2} ms, per decision {:.2} µs \
+         ({:.0}x), fleet {} events p50 {} ns p95 {} ns max {} ns",
+        admission.residents,
+        admission.full_sweep_secs * 1e3,
+        admission.per_decision_secs * 1e6,
+        admission.speedup,
+        admission.fleet_events,
+        admission.latency_p50_ns,
+        admission.latency_p95_ns,
+        admission.latency_max_ns,
+    );
+
     // Engine slot rate: the Fig. 7 lineup from the experiment hot path.
     let workload = TrialWorkload::generate(&TrialConfig::new(4, 0.70, 7));
     let mut slot_rates: Vec<(String, f64)> = Vec::new();
@@ -549,10 +715,24 @@ fn main() {
             )
         })
         .collect();
+    // Trajectory: keep the last runs' one-line summaries so regressions
+    // in the admission/scaling lanes show up as a trend, not a point.
+    let eight_region_speedup = scaling_rows
+        .iter()
+        .find(|(regions, _, _)| *regions == 8)
+        .map_or(0.0, |(_, _, speedup)| *speedup);
+    let mut history = prior_history("BENCH_noc.json", 7);
+    history.push(format!(
+        "{{\"mode\": \"{}\", \"admission_speedup\": {:.1}, \"admission_p95_ns\": {}, \
+         \"scaling_speedup_8regions\": {:.2}}}",
+        mode.label, admission.speedup, admission.latency_p95_ns, eight_region_speedup,
+    ));
+    let history_entries: Vec<String> = history.iter().map(|entry| format!("    {entry}")).collect();
+
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"ioguard-bench-noc/v3\",\n",
+            "  \"schema\": \"ioguard-bench-noc/v4\",\n",
             "  \"mode\": \"{mode}\",\n",
             "  \"host_parallelism\": {host_par},\n",
             "  \"noc\": {{\n",
@@ -586,12 +766,35 @@ fn main() {
             "    \"stage_verify_ms_total\": {stage_verify_ms:.1},\n",
             "    \"within_budget\": {within_budget}\n",
             "  }},\n",
+            "  \"admission\": {{\n",
+            "    \"frame\": {adm_frame},\n",
+            "    \"residents\": {adm_residents},\n",
+            "    \"full_sweep_ms\": {adm_full_ms:.3},\n",
+            "    \"per_decision_us\": {adm_decision_us:.3},\n",
+            "    \"incremental_speedup\": {adm_speedup:.1},\n",
+            "    \"floor_speedup\": {adm_floor:.1},\n",
+            "    \"floor_enforced\": {adm_enforced},\n",
+            "    \"fleet\": {{\n",
+            "      \"events\": {adm_events},\n",
+            "      \"shards\": 8,\n",
+            "      \"placed\": {adm_placed},\n",
+            "      \"spilled\": {adm_spilled},\n",
+            "      \"dropped\": {adm_dropped},\n",
+            "      \"local_rejects\": {adm_rejects},\n",
+            "      \"departed\": {adm_departed},\n",
+            "      \"residents_final\": {adm_final},\n",
+            "      \"decision_latency_ns\": {{ \"p50\": {adm_p50}, \"p95\": {adm_p95}, \"max\": {adm_max} }}\n",
+            "    }}\n",
+            "  }},\n",
             "  \"engine\": {{\n",
             "    \"slot_rate_slots_per_sec\": {{\n",
             "{slots}\n",
             "    }},\n",
             "    \"slot_horizon\": {horizon}\n",
-            "  }}\n",
+            "  }},\n",
+            "  \"history\": [\n",
+            "{history}\n",
+            "  ]\n",
             "}}\n"
         ),
         mode = mode.label,
@@ -614,8 +817,26 @@ fn main() {
         drain_max = drain.max,
         stage_verify_ms = drain.stage_verify_secs * 1e3,
         within_budget = drain.max <= drain.drain_budget,
+        adm_frame = admission.frame,
+        adm_residents = admission.residents,
+        adm_full_ms = admission.full_sweep_secs * 1e3,
+        adm_decision_us = admission.per_decision_secs * 1e6,
+        adm_speedup = admission.speedup,
+        adm_floor = mode.admission_floor,
+        adm_enforced = host_parallelism >= mode.admission_min_cores,
+        adm_events = admission.fleet_events,
+        adm_placed = admission.fleet_placed,
+        adm_spilled = admission.fleet_spilled,
+        adm_dropped = admission.fleet_dropped,
+        adm_rejects = admission.fleet_local_rejects,
+        adm_departed = admission.fleet_departed,
+        adm_final = admission.fleet_residents_final,
+        adm_p50 = admission.latency_p50_ns,
+        adm_p95 = admission.latency_p95_ns,
+        adm_max = admission.latency_max_ns,
         slots = slot_entries.join(",\n"),
         horizon = mode.slot_horizon,
+        history = history_entries.join(",\n"),
     );
     std::fs::write("BENCH_noc.json", &json).expect("BENCH_noc.json is writable");
     println!("{json}");
@@ -650,15 +871,33 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Incremental-admission floor: at 10⁴ residents one ledger decision
+    // must beat the full sweep by ≥10x. The measurement is wall-clock, so
+    // like the scaling floor it is only a hard gate on hosts with enough
+    // hardware threads to time reliably; the verdict-equality assertions
+    // inside the lane hold everywhere regardless.
+    if host_parallelism >= mode.admission_min_cores {
+        if admission.speedup < mode.admission_floor {
+            eprintln!(
+                "bench-summary: FAIL — admission speedup {:.1}x at {} residents is below \
+                 the {:.1}x floor",
+                admission.speedup, admission.residents, mode.admission_floor,
+            );
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!(
+            "bench-summary: admission floor advisory — host has {host_parallelism} hardware \
+             thread(s), {} required to enforce the {:.1}x gate (measured {:.1}x)",
+            mode.admission_min_cores, mode.admission_floor, admission.speedup,
+        );
+    }
+
     // PDES scaling floor — but a measured multi-thread speedup needs
     // multiple hardware threads, so the floor is only a hard gate on hosts
     // that can physically deliver it. Elsewhere (e.g. a 1-core CI box) the
     // measured rows in the JSON are the record, and exact equivalence has
     // already been asserted above regardless.
-    let eight_region_speedup = scaling_rows
-        .iter()
-        .find(|(regions, _, _)| *regions == 8)
-        .map_or(0.0, |(_, _, speedup)| *speedup);
     if host_parallelism >= mode.scaling_min_cores {
         if eight_region_speedup < mode.scaling_floor {
             eprintln!(

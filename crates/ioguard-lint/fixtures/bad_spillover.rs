@@ -1,0 +1,37 @@
+//! Seeded-bad fixture for the unbounded-spillover rule: spillover/retry
+//! buffers (the holding pens for work the admission control rejected)
+//! grown with no adjacent capacity guard and no justification. CI runs
+//! `ioguard-lint -- check` over this file and asserts a non-zero exit.
+
+use std::collections::VecDeque;
+
+pub struct Spill {
+    spillover: VecDeque<u64>,
+    retry_queue: Vec<u64>,
+    backlog: std::collections::BTreeMap<u64, u64>,
+}
+
+impl Spill {
+    /// Every rejected arrival lands here forever: nothing ever compares
+    /// the buffer against a capacity before growing it.
+    pub fn defer(&mut self, vm: u64) {
+        self.spillover.push_back(vm);
+    }
+
+    /// Same defect on a plain Vec.
+    pub fn requeue(&mut self, vm: u64) {
+        self.retry_queue.push(vm);
+    }
+
+    /// And on a keyed container.
+    pub fn remember(&mut self, vm: u64, shard: u64) {
+        self.backlog.insert(vm, shard);
+    }
+
+    /// The one legal shape, for contrast: the bound is on the guard line.
+    pub fn defer_bounded(&mut self, vm: u64, spill_capacity: usize) {
+        if self.spillover.len() < spill_capacity {
+            self.spillover.push_back(vm);
+        }
+    }
+}

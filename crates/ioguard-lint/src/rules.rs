@@ -52,6 +52,10 @@ pub mod rule {
     /// aligned reconfiguration protocol (`ioguard-reconfig`), never an
     /// in-place patch.
     pub const LIVE_CONFIG_MUTATION: &str = "live-config-mutation";
+    /// A grow accessor on a spillover/retry/backlog queue with no adjacent
+    /// capacity guard: rejected-admission buffers must stay bounded, or the
+    /// fleet trades a hard admission verdict for an unbounded memory debt.
+    pub const UNBOUNDED_SPILLOVER: &str = "unbounded-spillover";
 }
 
 /// One reported violation.
@@ -108,6 +112,8 @@ pub struct RuleSet {
     /// Deny in-place assignments to live configuration fields outside
     /// consuming builders.
     pub live_config: bool,
+    /// Deny unguarded growth of spillover/retry/backlog queues.
+    pub spillover: bool,
 }
 
 /// Crates whose library code must be panic-free (hypervisor hot paths and
@@ -118,11 +124,16 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
     "ioguard-noc",
     "ioguard-obs",
     "ioguard-reconfig",
+    "ioguard-fleet",
 ];
 
 /// Crates whose `u64` time/slot arithmetic must be checked/saturating.
-pub const CHECKED_ARITH_CRATES: &[&str] =
-    &["ioguard-sched", "ioguard-hypervisor", "ioguard-reconfig"];
+pub const CHECKED_ARITH_CRATES: &[&str] = &[
+    "ioguard-sched",
+    "ioguard-hypervisor",
+    "ioguard-reconfig",
+    "ioguard-fleet",
+];
 
 /// Crates where configuration is immutable once live: every change goes
 /// through the staged reconfiguration protocol, so plain assignments to
@@ -140,7 +151,13 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "ioguard-baselines",
     "ioguard-obs",
     "ioguard-reconfig",
+    "ioguard-fleet",
 ];
+
+/// Crates holding rejected-admission spillover/retry buffers: every grow
+/// site must sit next to an explicit capacity guard (see
+/// [`rule::UNBOUNDED_SPILLOVER`]).
+pub const BOUNDED_SPILLOVER_CRATES: &[&str] = &["ioguard-fleet"];
 
 impl RuleSet {
     /// Every rule enabled (fixture mode / explicit paths).
@@ -153,6 +170,7 @@ impl RuleSet {
             nondeterminism: true,
             hot_path: true,
             live_config: true,
+            spillover: true,
         }
     }
 
@@ -166,6 +184,7 @@ impl RuleSet {
             nondeterminism: DETERMINISTIC_CRATES.contains(&name),
             hot_path: DETERMINISTIC_CRATES.contains(&name),
             live_config: LIVE_CONFIG_CRATES.contains(&name),
+            spillover: BOUNDED_SPILLOVER_CRATES.contains(&name),
         }
     }
 
@@ -177,7 +196,8 @@ impl RuleSet {
             || self.cast_narrowing
             || self.nondeterminism
             || self.hot_path
-            || self.live_config)
+            || self.live_config
+            || self.spillover)
     }
 }
 
@@ -256,6 +276,38 @@ const HANDOFF_DRAIN_TOKENS: &[&str] = &[
     ".try_recv(",
 ];
 
+/// Identifier components that mark a receiver as a spillover/retry buffer:
+/// the holding pen for work the admission control rejected. A component
+/// matches after `_`-splitting, so `self.spillover`, `retry_queue` and
+/// `arrival_backlog` all qualify.
+const SPILLOVER_VOCAB: &[&str] = &[
+    "spillover",
+    "spill",
+    "spills",
+    "spilled",
+    "retry",
+    "retries",
+    "backlog",
+    "backlogs",
+];
+
+/// Accessors that grow a collection. On a spillover buffer each of these
+/// must sit next to an explicit capacity guard, or rejected work accretes
+/// without bound.
+const SPILLOVER_GROW_TOKENS: &[&str] = &[
+    ".push(",
+    ".push_back(",
+    ".push_front(",
+    ".insert(",
+    ".extend(",
+];
+
+/// Identifier components that mark a line as a capacity guard. A growth
+/// site is exempt when this vocabulary appears on the growth line itself or
+/// on one of the two preceding code lines — the bound must be *locally*
+/// evident, not established in some distant invariant.
+const CAPACITY_VOCAB: &[&str] = &["cap", "capacity", "bound", "bounded", "limit", "limits"];
+
 /// Keyed-container signatures that have no place inside a per-cycle hot
 /// loop: container type names plus the `&`-keyed accessor shapes maps use
 /// (slice `get` takes a plain index, so `.get(&` / `.remove(&` single out
@@ -326,7 +378,7 @@ pub fn lint_file(file: &SourceFile, rules: RuleSet, out: &mut Vec<Violation>) {
     if rules.is_empty() {
         return;
     }
-    for line in &file.lines {
+    for (index, line) in file.lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
@@ -351,6 +403,9 @@ pub fn lint_file(file: &SourceFile, rules: RuleSet, out: &mut Vec<Violation>) {
         }
         if rules.live_config && !line.in_builder {
             check_live_config(file, line, out);
+        }
+        if rules.spillover {
+            check_spillover_growth(file, index, line, out);
         }
     }
 }
@@ -473,16 +528,21 @@ fn check_tokens(
     }
 }
 
-/// True when any identifier in `text` has a `_`-component in the hand-off
-/// vocabulary.
-fn mentions_handoff_vocab(text: &str) -> bool {
+/// True when any identifier in `text` has a `_`-component in `vocab`.
+fn mentions_vocab(text: &str, vocab: &[&str]) -> bool {
     text.split(|c: char| !is_ident_char(c))
         .filter(|w| !w.is_empty())
         .flat_map(|w| w.split('_'))
         .any(|part| {
             let lower = part.to_ascii_lowercase();
-            HANDOFF_VOCAB.contains(&lower.as_str())
+            vocab.contains(&lower.as_str())
         })
+}
+
+/// True when any identifier in `text` has a `_`-component in the hand-off
+/// vocabulary.
+fn mentions_handoff_vocab(text: &str) -> bool {
+    mentions_vocab(text, HANDOFF_VOCAB)
 }
 
 /// Unordered drains of cross-thread hand-off queues: a
@@ -534,6 +594,69 @@ pub(crate) fn find_handoff_drain(code: &str) -> Option<&'static str> {
                 .rev()
                 .collect();
             if mentions_handoff_vocab(&receiver) {
+                flagged = Some(token);
+            }
+            start = at + token.len();
+        }
+    }
+    flagged
+}
+
+/// Unguarded growth of a spillover/retry buffer: a
+/// [`SPILLOVER_GROW_TOKENS`] accessor whose receiver expression mentions
+/// the [`SPILLOVER_VOCAB`], with no [`CAPACITY_VOCAB`] in the local window
+/// (the growth line itself or the two code lines above it — the usual
+/// `if len < capacity { … }` guard shape). A bound proven elsewhere is
+/// documented with a `lint: allow(unbounded-spillover)` justification.
+fn check_spillover_growth(
+    file: &SourceFile,
+    index: usize,
+    line: &LineInfo,
+    out: &mut Vec<Violation>,
+) {
+    let Some(token) = find_spillover_growth(&line.code) else {
+        return;
+    };
+    let guarded = file.lines[index.saturating_sub(2)..=index]
+        .iter()
+        .any(|l| mentions_vocab(&l.code, CAPACITY_VOCAB));
+    if guarded {
+        return;
+    }
+    if file.allow_for(rule::UNBOUNDED_SPILLOVER, line).is_some() {
+        return;
+    }
+    out.push(Violation {
+        rule: rule::UNBOUNDED_SPILLOVER,
+        path: file.path.clone(),
+        line: line.number,
+        message: format!(
+            "`{}` grows a spillover/retry buffer with no adjacent capacity \
+             guard — compare against an explicit capacity/limit first, or \
+             justify with lint: allow(unbounded-spillover)",
+            token.trim_matches(|c| c == '.' || c == '(')
+        ),
+    });
+}
+
+/// The last spillover-growth accessor on the line, if any: a
+/// [`SPILLOVER_GROW_TOKENS`] accessor whose receiver expression mentions
+/// the [`SPILLOVER_VOCAB`].
+fn find_spillover_growth(code: &str) -> Option<&'static str> {
+    let mut flagged: Option<&'static str> = None;
+    for token in SPILLOVER_GROW_TOKENS {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(token) {
+            let at = start + pos;
+            let receiver: String = code[..at]
+                .chars()
+                .rev()
+                .take_while(|&c| is_ident_char(c) || matches!(c, '.' | '(' | ')' | '[' | ']' | ':'))
+                .collect::<Vec<char>>()
+                .into_iter()
+                .rev()
+                .collect();
+            if mentions_vocab(&receiver, SPILLOVER_VOCAB) {
                 flagged = Some(token);
             }
             start = at + token.len();
@@ -901,6 +1024,79 @@ mod tests {
             RuleSet::all(),
         );
         assert!(!v.iter().any(|v| v.rule == rule::NONDETERMINISM), "{v:?}");
+    }
+
+    #[test]
+    fn flags_unguarded_spillover_growth() {
+        // Every grow shape on spillover-vocabulary receivers is caught when
+        // no capacity guard sits in the local window.
+        let v = lint_src(
+            "fn f() {\n\
+             self.spillover.push_back(entry);\n\
+             retry_queue.push(item);\n\
+             backlog.insert(key, value);\n\
+             spilled[shard].extend(batch);\n\
+             }\n",
+            RuleSet::all(),
+        );
+        assert_eq!(
+            v.iter()
+                .filter(|v| v.rule == rule::UNBOUNDED_SPILLOVER)
+                .count(),
+            4,
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn guarded_spillover_growth_is_exempt() {
+        // The canonical guard shape — a capacity comparison on the growth
+        // line or within the two lines above it — is the documented bound.
+        let v = lint_src(
+            "fn f() {\n\
+             if self.spillover.len() < self.config.spill_capacity {\n\
+             self.spillover.push_back(entry);\n\
+             }\n\
+             if retries.len() < retry_limit { retries.push(item); }\n\
+             }\n",
+            RuleSet::all(),
+        );
+        assert!(
+            !v.iter().any(|v| v.rule == rule::UNBOUNDED_SPILLOVER),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn ordinary_growth_is_not_a_spillover_violation() {
+        // The same accessors on non-spillover receivers stay legal: the
+        // rule keys on the rejected-work vocabulary, not Vec::push at large.
+        let v = lint_src(
+            "fn f() {\n\
+             decisions.push(d);\n\
+             residents.insert(vm, tasks);\n\
+             }\n",
+            RuleSet::all(),
+        );
+        assert!(
+            !v.iter().any(|v| v.rule == rule::UNBOUNDED_SPILLOVER),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn justified_spillover_growth_is_allowed() {
+        let v = lint_src(
+            "fn f() {\n\
+             // lint: allow(unbounded-spillover) — drained every hyperperiod by the reaper\n\
+             backlog.push_back(entry);\n\
+             }\n",
+            RuleSet::all(),
+        );
+        assert!(
+            !v.iter().any(|v| v.rule == rule::UNBOUNDED_SPILLOVER),
+            "{v:?}"
+        );
     }
 
     #[test]

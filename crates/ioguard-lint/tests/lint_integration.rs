@@ -73,6 +73,20 @@ fn seeded_handoff_fixture_is_rejected() {
 }
 
 #[test]
+fn seeded_spillover_fixture_is_rejected() {
+    let path = fixture("bad_spillover.rs");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    assert_eq!(
+        violations
+            .iter()
+            .filter(|v| v.rule == rule::UNBOUNDED_SPILLOVER)
+            .count(),
+        3,
+        "the three unguarded grows flagged, the guarded one exempt: {violations:?}"
+    );
+}
+
+#[test]
 fn seeded_hotpath_fixture_is_rejected() {
     let path = fixture("bad_hotpath.rs");
     let violations = check_paths(&[path.as_path()]).expect("fixture readable");

@@ -333,7 +333,7 @@ impl ReconfigController {
                 .record(at, ObsKind::ReconfigAbort, SYSTEM_VM, id, reason.ordinal());
             return Err(reason);
         }
-        match candidate.verify_incremental(&self.verifier) {
+        match candidate.verify_incremental(&mut self.verifier) {
             Ok(verified) => {
                 self.sink
                     .record(at, ObsKind::ReconfigVerify, SYSTEM_VM, id, 1);

@@ -109,6 +109,80 @@ pub fn dbf_tasks(tasks: &TaskSet, t: u64) -> u64 {
     tasks.iter().map(|task| dbf_task(task, t)).sum()
 }
 
+/// The step-event list of **one** demand source: the jump points of a
+/// single `dbf` term, yielded as `(t, step)` pairs in ascending `t` over
+/// `(0, bound]`. A server `(Π, Θ)` steps by `Θ` at every multiple of `Π`;
+/// a task `(T, C, D)` steps by `C` at `D + m·T`.
+///
+/// Event lists are *mergeable*: [`DemandSweep::merge`] folds any number of
+/// them into the summed sweep the theorem checkers walk, and the
+/// incremental [`crate::ledger::DemandLedger`] applies a single source's
+/// list as a delta against its cached slack envelope — the O(Δ) admission
+/// path.
+///
+/// # Example
+///
+/// ```
+/// use ioguard_sched::demand::StepEvents;
+/// use ioguard_sched::task::PeriodicServer;
+///
+/// let gamma = PeriodicServer::new(10, 3)?;
+/// let events: Vec<(u64, u64)> = StepEvents::server(&gamma, 35).collect();
+/// assert_eq!(events, vec![(10, 3), (20, 3), (30, 3)]);
+/// # Ok::<(), ioguard_sched::SchedError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepEvents {
+    /// Next jump point, if any remains within the bound.
+    upcoming: Option<u64>,
+    /// Distance between consecutive jump points.
+    stride: u64,
+    /// Demand added at each jump point.
+    step: u64,
+    /// Inclusive bound; events past it are dropped.
+    bound: u64,
+}
+
+impl StepEvents {
+    /// Event list jumping by `step` at `start + k·stride` for `k ≥ 0`,
+    /// clipped to `(0, bound]`.
+    pub fn new(start: u64, stride: u64, step: u64, bound: u64) -> Self {
+        Self {
+            upcoming: (start > 0 && start <= bound).then_some(start),
+            stride,
+            step,
+            bound,
+        }
+    }
+
+    /// The event list of `dbf(Γ, ·)` (Eq. 3) over `(0, bound]`.
+    pub fn server(server: &PeriodicServer, bound: u64) -> Self {
+        Self::new(server.period(), server.period(), server.budget(), bound)
+    }
+
+    /// The event list of `dbf(τ, ·)` (Eq. 9) over `(0, bound]`.
+    pub fn task(task: &SporadicTask, bound: u64) -> Self {
+        Self::new(task.deadline(), task.period(), task.wcet(), bound)
+    }
+
+    /// `(next, stride, step)` of the unconsumed remainder, or `None` when
+    /// exhausted — the descriptor [`DemandSweep::merge`] seeds its heap
+    /// with.
+    pub fn descriptor(&self) -> Option<(u64, u64, u64)> {
+        self.upcoming.map(|at| (at, self.stride, self.step))
+    }
+}
+
+impl Iterator for StepEvents {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        let t = self.upcoming?;
+        self.upcoming = t.checked_add(self.stride).filter(|&n| n <= self.bound);
+        Some((t, self.step))
+    }
+}
+
 /// Merged step-event sweep over a summed demand bound function.
 ///
 /// The theorem checkers walk the jump points of `Σ dbf(·, t)` in ascending
@@ -165,7 +239,28 @@ impl DemandSweep {
         )
     }
 
-    fn from_sources(sources_iter: impl Iterator<Item = (u64, u64, u64)>, bound: u64) -> Self {
+    /// Merges per-source [`StepEvents`] lists into one summed sweep over
+    /// `(0, bound]`. Lists whose own bound is tighter than `bound` stay
+    /// clipped at `bound` here; each contributes from its *unconsumed*
+    /// remainder, so partially-iterated lists merge correctly.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ioguard_sched::demand::{DemandSweep, StepEvents};
+    /// use ioguard_sched::task::PeriodicServer;
+    ///
+    /// let servers = [PeriodicServer::new(4, 1)?, PeriodicServer::new(6, 2)?];
+    /// let merged = DemandSweep::merge(servers.iter().map(|s| StepEvents::server(s, 24)), 24);
+    /// let direct = DemandSweep::servers(&servers, 24);
+    /// assert!(merged.eq(direct));
+    /// # Ok::<(), ioguard_sched::SchedError>(())
+    /// ```
+    pub fn merge(events: impl IntoIterator<Item = StepEvents>, bound: u64) -> Self {
+        Self::from_sources(events.into_iter().filter_map(|e| e.descriptor()), bound)
+    }
+
+    fn from_sources(sources_iter: impl IntoIterator<Item = (u64, u64, u64)>, bound: u64) -> Self {
         let mut heap = BinaryHeap::new();
         let mut sources = Vec::new();
         for (start, stride, step) in sources_iter {
@@ -441,6 +536,47 @@ mod tests {
                 assert!(t <= bound);
             }
         }
+    }
+
+    #[test]
+    fn step_events_enumerate_single_source_jumps() {
+        let s = server(10, 3);
+        let events: Vec<(u64, u64)> = StepEvents::server(&s, 35).collect();
+        assert_eq!(events, vec![(10, 3), (20, 3), (30, 3)]);
+        let tau = task(10, 2, 6);
+        let events: Vec<(u64, u64)> = StepEvents::task(&tau, 30).collect();
+        assert_eq!(events, vec![(6, 2), (16, 2), (26, 2)]);
+        // Out of bound from the start: empty.
+        assert_eq!(StepEvents::server(&server(50, 1), 49).count(), 0);
+        assert_eq!(StepEvents::new(0, 5, 1, 100).count(), 0);
+    }
+
+    #[test]
+    fn merge_of_event_lists_equals_direct_sweep() {
+        let servers = [server(4, 1), server(6, 2), server(6, 3)];
+        let bound = 48;
+        let merged: Vec<(u64, u64)> =
+            DemandSweep::merge(servers.iter().map(|s| StepEvents::server(s, bound)), bound)
+                .collect();
+        let direct: Vec<(u64, u64)> = DemandSweep::servers(&servers, bound).collect();
+        assert_eq!(merged, direct);
+        let ts: TaskSet = vec![task(10, 2, 6), task(7, 1, 7)].into();
+        let merged: Vec<(u64, u64)> =
+            DemandSweep::merge(ts.iter().map(|t| StepEvents::task(t, 100)), 100).collect();
+        let direct: Vec<(u64, u64)> = DemandSweep::tasks(&ts, 100).collect();
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn partially_consumed_event_lists_merge_from_their_remainder() {
+        let mut a = StepEvents::server(&server(4, 1), 24);
+        a.next(); // consume (4, 1)
+        let b = StepEvents::server(&server(6, 2), 24);
+        let merged: Vec<(u64, u64)> = DemandSweep::merge([a, b], 24).collect();
+        // First merged point is now 6 (a's remainder starts at 8).
+        assert_eq!(merged.first(), Some(&(6, 2)));
+        let exhausted = StepEvents::server(&server(30, 5), 24);
+        assert_eq!(exhausted.descriptor(), None);
     }
 
     #[test]

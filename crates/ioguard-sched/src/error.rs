@@ -45,6 +45,22 @@ pub enum SchedError {
         /// The constant `c` the theorem requires.
         required: f64,
     },
+    /// An incremental-analysis frame precondition failed (zero/oversized
+    /// frame, or a table length / server period that does not divide it).
+    InvalidFrame {
+        /// Human-readable description of the violated precondition.
+        reason: String,
+    },
+    /// An incremental operation referenced a VM id that is not resident.
+    UnknownVm {
+        /// The id that was not found.
+        id: u64,
+    },
+    /// An admission reused a VM id that is already resident.
+    DuplicateVm {
+        /// The id that collided.
+        id: u64,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -74,6 +90,9 @@ impl fmt::Display for SchedError {
                 f,
                 "slack {slack:.6} below required constant {required:.6}; theorem precondition fails"
             ),
+            SchedError::InvalidFrame { reason } => write!(f, "invalid analysis frame: {reason}"),
+            SchedError::UnknownVm { id } => write!(f, "unknown vm id {id}"),
+            SchedError::DuplicateVm { id } => write!(f, "duplicate vm id {id}"),
         }
     }
 }
@@ -122,6 +141,14 @@ mod tests {
                 },
                 "slack",
             ),
+            (
+                SchedError::InvalidFrame {
+                    reason: "period does not divide frame".into(),
+                },
+                "invalid analysis frame",
+            ),
+            (SchedError::UnknownVm { id: 7 }, "unknown vm id 7"),
+            (SchedError::DuplicateVm { id: 9 }, "duplicate vm id 9"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

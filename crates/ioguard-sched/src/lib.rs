@@ -15,6 +15,10 @@
 //!   bounded) and **Theorem 2** (pseudo-polynomial bound).
 //! * [`lsched`] — the L-Sched test: **Theorem 3** (exact) and **Theorem 4**
 //!   (pseudo-polynomial bound).
+//! * [`ledger`] — the O(Δ)-incremental admission path: a persistent
+//!   [`DemandLedger`] materializes the slack envelope `sbf − Σ dbf` over a
+//!   harmonic frame so `admit`/`evict` touch only the changed VM's delta
+//!   events instead of re-sweeping the hyper-period.
 //! * [`edfsim`] — a slot-level preemptive-EDF reference simulator used to
 //!   cross-validate the analysis (analysis says *schedulable* ⇒ the
 //!   simulator observes zero deadline misses).
@@ -48,6 +52,7 @@ pub mod design;
 pub mod edfsim;
 pub mod error;
 pub mod gsched;
+pub mod ledger;
 pub mod lsched;
 pub mod sensitivity;
 pub mod table;
@@ -56,6 +61,7 @@ pub mod verify;
 
 pub use analysis::{TwoLayerAnalysis, TwoLayerVerdict};
 pub use error::SchedError;
+pub use ledger::{AdmitOutcome, AdmitStats, DemandLedger};
 pub use table::TimeSlotTable;
 pub use task::{PeriodicServer, SporadicTask, TaskSet};
 pub use verify::{IncrementalVerifier, ReverifyOutcome, ReverifyStats};

@@ -72,6 +72,18 @@ pub fn theorem3_exact(
     tasks: &TaskSet,
     max_hyper_period: u64,
 ) -> Result<LschedVerdict, SchedError> {
+    theorem3_exact_counted(server, tasks, max_hyper_period).map(|(verdict, _)| verdict)
+}
+
+/// [`theorem3_exact`] plus the number of demand checkpoints actually
+/// visited — every `(t, demand)` jump point compared against `sbf`,
+/// including the constructive over-utilization scan, counting stopping at
+/// the first violation (early refusals report only the work done).
+pub fn theorem3_exact_counted(
+    server: &PeriodicServer,
+    tasks: &TaskSet,
+    max_hyper_period: u64,
+) -> Result<(LschedVerdict, u64), SchedError> {
     let hyper = tasks
         .iter()
         .map(|t| t.period())
@@ -94,32 +106,44 @@ pub fn theorem3_exact(
         .map(|t| (hyper / t.period()).saturating_mul(t.wcet()))
         .fold(0u64, u64::saturating_add);
     let supply_rate = (hyper / server.period()).saturating_mul(server.budget());
+    let mut visited = 0u64;
     if demand_rate > supply_rate {
         // Constructive violation search within a few hyper-periods.
         for (t, demand) in DemandSweep::tasks(tasks, bound.saturating_mul(4)) {
+            visited = visited.saturating_add(1);
             let supply = sbf_server(server, t);
             if demand > supply {
-                return Ok(LschedVerdict::Unschedulable {
-                    violation_at: t,
-                    demand,
-                    supply,
-                });
+                return Ok((
+                    LschedVerdict::Unschedulable {
+                        violation_at: t,
+                        demand,
+                        supply,
+                    },
+                    visited,
+                ));
             }
         }
     }
     for (t, demand) in DemandSweep::tasks(tasks, bound) {
+        visited = visited.saturating_add(1);
         let supply = sbf_server(server, t);
         if demand > supply {
-            return Ok(LschedVerdict::Unschedulable {
-                violation_at: t,
-                demand,
-                supply,
-            });
+            return Ok((
+                LschedVerdict::Unschedulable {
+                    violation_at: t,
+                    demand,
+                    supply,
+                },
+                visited,
+            ));
         }
     }
-    Ok(LschedVerdict::Schedulable {
-        checked_up_to: bound,
-    })
+    Ok((
+        LschedVerdict::Schedulable {
+            checked_up_to: bound,
+        },
+        visited,
+    ))
 }
 
 /// **Theorem 4** (pseudo-polynomial): for each VM with slack
@@ -317,5 +341,23 @@ mod tests {
     fn theorem4_rejects_nonpositive_c() {
         let s = server(4, 2);
         let _ = theorem4_pseudo_poly(&s, &TaskSet::new(), -1.0);
+    }
+
+    #[test]
+    fn counted_variant_reports_work_actually_done() {
+        let s = server(5, 4);
+        let ts: TaskSet = vec![task(50, 3, 40)].into();
+        let (v, visited) = theorem3_exact_counted(&s, &ts, 1 << 20).unwrap();
+        assert!(v.is_schedulable());
+        // Jump points at 40 + 50m within lcm(5, 50) + 40 = 90: t = 40, 90.
+        assert_eq!(visited, 2);
+
+        // Early refusal at the first checkpoint (D = 2, blackout 10 > 2).
+        let s = server(10, 5);
+        let ts: TaskSet = vec![task(20, 2, 2)].into();
+        let (v, visited) = theorem3_exact_counted(&s, &ts, 1 << 20).unwrap();
+        assert!(!v.is_schedulable());
+        assert_eq!(visited, 1, "refusal at the first jump must count one");
+        assert_eq!(theorem3_exact(&s, &ts, 1 << 20).unwrap(), v);
     }
 }

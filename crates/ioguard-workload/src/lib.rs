@@ -32,9 +32,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod generator;
 pub mod suites;
 pub mod uunifast;
 
+pub use arrivals::{FleetArrivalConfig, FleetArrivals, FleetEvent};
 pub use generator::{TrialConfig, TrialWorkload};
 pub use suites::{TaskCategory, TaskSpec};

@@ -1,0 +1,126 @@
+//! Chaos battery for the sharded fleet: heavy churn interleaved with
+//! faulted cross-shard migrations.
+//!
+//! Every trial drives a fleet through a block of arrival/departure
+//! events, then injects a rebalance migration with a rotating fault
+//! (none / after-reserve / after-evict), then checks the conservation
+//! invariants:
+//!
+//! - every located VM is resident on exactly its recorded shard and no
+//!   other;
+//! - shard resident totals equal the location count;
+//! - each shard's incremental ledger verdict equals a from-scratch full
+//!   sweep (the incremental state never drifts, even through rollbacks
+//!   and roll-forwards);
+//! - the whole interleaved run is byte-identical at 1 and 8 probe
+//!   threads.
+//!
+//! The base seed rotates via `IOGUARD_CHAOS_SEED` so CI sweeps disjoint
+//! corners of the space (pinned at 42 and 1337 in the workflow) while
+//! any single failure reproduces exactly from the printed seed.
+
+use ioguard_fleet::{Fleet, FleetConfig, MigrationFault, PlacementPolicy};
+use ioguard_workload::{FleetArrivalConfig, FleetArrivals};
+
+fn chaos_seed() -> u64 {
+    std::env::var("IOGUARD_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Every located VM on exactly one shard; totals and ledgers consistent.
+fn assert_conserved(fleet: &Fleet, context: &str) {
+    for (vm, shard) in fleet.locations() {
+        for other in fleet.shards() {
+            assert_eq!(
+                other.contains(vm),
+                other.id() == shard,
+                "{context}: vm {vm} inconsistent at shard {}",
+                other.id()
+            );
+        }
+    }
+    let total: usize = fleet.shards().iter().map(|s| s.resident_count()).sum();
+    assert_eq!(total, fleet.resident_count(), "{context}: totals diverge");
+    for shard in fleet.shards() {
+        assert!(
+            shard.verify_full().is_schedulable(),
+            "{context}: shard {} incremental state fails the full sweep",
+            shard.id()
+        );
+    }
+}
+
+/// One chaos trial: churn in blocks, a faulted rebalance between blocks.
+/// Returns the rendered trace for cross-thread comparison.
+fn chaos_trial(seed: u64, threads: usize) -> String {
+    let mut config = FleetConfig::new(4, PlacementPolicy::WorstFitBySlack, seed);
+    config.threads = threads;
+    let mut fleet = Fleet::new(config).expect("valid config");
+    let stream = FleetArrivals::generate(&FleetArrivalConfig::new(3_000, 150, seed));
+    let faults = [
+        MigrationFault::None,
+        MigrationFault::AfterReserve,
+        MigrationFault::AfterEvict,
+    ];
+    let mut decisions = Vec::new();
+    let mut migrations = Vec::new();
+    for (block, events) in stream.events().chunks(500).enumerate() {
+        for event in events {
+            decisions.extend(fleet.apply(event));
+        }
+        assert_conserved(&fleet, &format!("seed {seed} block {block} post-churn"));
+        let fault = faults[block % faults.len()];
+        let step = fleet.rebalance(fault);
+        migrations.push(format!("block={block} fault={fault:?} step={step:?}"));
+        assert_conserved(&fleet, &format!("seed {seed} block {block} post-rebalance"));
+    }
+    let mut trace = fleet.render_trace(&decisions);
+    trace.push_str(&migrations.join("\n"));
+    trace
+}
+
+#[test]
+fn churn_with_faulted_migrations_conserves_vms() {
+    let base = chaos_seed();
+    for trial in 0u64..4 {
+        let seed = base.wrapping_add(trial.wrapping_mul(0x9E37_79B9));
+        chaos_trial(seed, 1);
+    }
+}
+
+#[test]
+fn chaos_trial_is_thread_count_independent() {
+    let seed = chaos_seed();
+    let single = chaos_trial(seed, 1);
+    let multi = chaos_trial(seed, 8);
+    assert_eq!(single, multi, "seed {seed}: trace diverged across threads");
+}
+
+#[test]
+fn faulted_migrations_leave_rejected_vms_on_their_source() {
+    let seed = chaos_seed();
+    let config = FleetConfig::new(3, PlacementPolicy::FirstFit, seed);
+    let mut fleet = Fleet::new(config).expect("valid config");
+    let stream = FleetArrivals::generate(&FleetArrivalConfig::new(1_000, 90, seed));
+    fleet.run(&stream);
+    let located: Vec<(u64, usize)> = fleet.locations().collect();
+    assert!(!located.is_empty(), "seed {seed}: fleet ended empty");
+    // Fault every resident's migration at the reserve point: all of them
+    // must remain exactly where they were.
+    for (vm, from) in &located {
+        let to = (from + 1) % fleet.shards().len();
+        let result = fleet.migrate(*vm, to, MigrationFault::AfterReserve);
+        assert!(
+            result.is_err(),
+            "seed {seed}: faulted migration returned Ok"
+        );
+        assert_eq!(
+            fleet.location_of(*vm),
+            Some(*from),
+            "seed {seed}: vm {vm} moved despite rollback"
+        );
+    }
+    assert_conserved(&fleet, &format!("seed {seed} post-fault-storm"));
+}

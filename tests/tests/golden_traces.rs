@@ -29,6 +29,7 @@ const SEED: u64 = 0xD1CE;
 const GOLDEN_END_TO_END: &str = include_str!("../goldens/end_to_end.trace");
 const GOLDEN_CHAOS: &str = include_str!("../goldens/chaos.trace");
 const GOLDEN_RECONFIG: &str = include_str!("../goldens/reconfig.trace");
+const GOLDEN_FLEET: &str = include_str!("../goldens/fleet.trace");
 
 fn end_to_end_trace(seed: u64) -> String {
     let run = end_to_end_observed(seed);
@@ -56,6 +57,19 @@ fn reconfig_trace(seed: u64) -> String {
     }
     assert!(run.totals.conserved(), "{:?}", run.totals);
     render_reconfig_trace(&run)
+}
+
+/// The pinned 3-shard, 1 000-arrival fleet placement run. The inner run
+/// already exercises the probe fan-out; the outer `assert_matches_golden`
+/// additionally replays it as a batch at 1 and 8 engine threads.
+fn fleet_trace(seed: u64) -> String {
+    ioguard_fleet::canonical_run(seed, 1).expect("canonical fleet run")
+}
+
+/// Same scenario with the probe fan-out itself running on 8 threads —
+/// must render the same bytes as the single-threaded run.
+fn fleet_trace_mt(seed: u64) -> String {
+    ioguard_fleet::canonical_run(seed, 8).expect("canonical fleet run")
 }
 
 fn assert_matches_golden(golden: &str, name: &str, render: impl Fn(u64) -> String + Sync) {
@@ -93,6 +107,12 @@ fn reconfig_trace_matches_golden_at_any_thread_count() {
 }
 
 #[test]
+fn fleet_trace_matches_golden_at_any_thread_count() {
+    assert_matches_golden(GOLDEN_FLEET, "fleet", fleet_trace);
+    assert_matches_golden(GOLDEN_FLEET, "fleet-mt", fleet_trace_mt);
+}
+
+#[test]
 #[ignore = "writes tests/goldens/*.trace; run only after an intentional trace change"]
 fn bless_goldens() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/goldens");
@@ -102,4 +122,5 @@ fn bless_goldens() {
     std::fs::write(format!("{dir}/chaos.trace"), chaos_trace(SEED)).expect("write chaos golden");
     std::fs::write(format!("{dir}/reconfig.trace"), reconfig_trace(SEED))
         .expect("write reconfig golden");
+    std::fs::write(format!("{dir}/fleet.trace"), fleet_trace(SEED)).expect("write fleet golden");
 }
