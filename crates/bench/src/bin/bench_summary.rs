@@ -43,6 +43,7 @@
 
 use std::time::Instant;
 
+use ioguard_bench::{prior_history, rolled_history};
 use ioguard_core::casestudy::{run_trial, SystemUnderTest};
 use ioguard_fleet::{Fleet, FleetConfig, PlacementPolicy};
 use ioguard_hypervisor::pchannel::PredefinedTask;
@@ -57,6 +58,7 @@ use ioguard_reconfig::{ReconfigController, StagedConfig};
 use ioguard_sched::ledger::{theorem1_frame, DemandLedger};
 use ioguard_sched::table::TimeSlotTable;
 use ioguard_sched::task::{PeriodicServer, SporadicTask};
+use ioguard_serve::replay::{ReplayConfig, ReplayDriver};
 use ioguard_sim::rng::Xoshiro256StarStar;
 use ioguard_workload::generator::{TrialConfig, TrialWorkload};
 use ioguard_workload::{FleetArrivalConfig, FleetArrivals};
@@ -97,6 +99,11 @@ struct Mode {
     admission_min_cores: usize,
     /// Lifecycle events in the fleet decision-latency run.
     fleet_events: usize,
+    /// Requests the serving replay lane drives through `ioguard-serve`.
+    serving_requests: u64,
+    /// Host parallelism below which the serving lane shrinks to the
+    /// quick request count and its deadline gate turns advisory.
+    serving_min_cores: usize,
 }
 
 impl Mode {
@@ -117,6 +124,8 @@ impl Mode {
             admission_floor: 10.0,
             admission_min_cores: 2,
             fleet_events: 100_000,
+            serving_requests: 100_000,
+            serving_min_cores: 2,
         }
     }
 
@@ -137,6 +146,8 @@ impl Mode {
             admission_floor: 10.0,
             admission_min_cores: 2,
             fleet_events: 100_000,
+            serving_requests: 1_000_000,
+            serving_min_cores: 2,
         }
     }
 }
@@ -507,22 +518,76 @@ fn admission_lane(mode: &Mode) -> AdmissionLane {
     }
 }
 
-/// Pulls the single-line `history` entries out of a previous
-/// `BENCH_noc.json`, oldest first. Entries are written one per line as
-/// compact JSON objects starting with `{"mode":`, so line-wise scanning
-/// recovers them without a JSON parser.
-fn prior_history(path: &str, keep: usize) -> Vec<String> {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
+/// What the serving replay lane measured.
+struct ServingLane {
+    /// Requests actually replayed (may be the reduced count).
+    requests: u64,
+    /// The mode's configured target before any host-based reduction.
+    requested: u64,
+    /// True when the full configured request count ran (multi-core
+    /// host or quick mode); false when reduced for a small host.
+    floor_enforced: bool,
+    virtual_slots: u64,
+    wall_secs: f64,
+    /// Wall-clock ingest throughput: requests / wall seconds.
+    ingest_rps: f64,
+    digest: u64,
+    completed: u64,
+    missed: u64,
+    critical_missed: u64,
+    shed_best_effort: u64,
+    obs_overflows: u64,
+    /// (p50, p95, p99, max, deadline bound) per class, in virtual slots.
+    critical: (u64, u64, u64, u64, u64),
+    best_effort: (u64, u64, u64, u64, u64),
+}
+
+/// Drives the `ioguard-serve` deterministic replay (DESIGN.md §16): a
+/// `FleetArrivals` client population streams wire-encoded requests
+/// through connect/ingest/step on the virtual clock. Latency is in
+/// virtual slots (deterministic, host-independent); the wall clock only
+/// measures how fast the front-end chews through the stream. On hosts
+/// below `serving_min_cores` the full-mode request count is reduced to
+/// the quick count and `floor_enforced` records the reduction.
+fn serving_lane(mode: &Mode, host_parallelism: usize) -> ServingLane {
+    let requested = mode.serving_requests;
+    let reduced_host = host_parallelism < mode.serving_min_cores;
+    let requests = if reduced_host {
+        requested.min(Mode::quick().serving_requests)
+    } else {
+        requested
     };
-    let entries: Vec<String> = text
-        .lines()
-        .map(str::trim)
-        .filter(|line| line.starts_with("{\"mode\":"))
-        .map(|line| line.trim_end_matches(',').to_string())
-        .collect();
-    let skip = entries.len().saturating_sub(keep);
-    entries.into_iter().skip(skip).collect()
+    let config = ReplayConfig::new(requests);
+    let driver = ReplayDriver::new(config);
+    let start = Instant::now();
+    let report = driver.run().expect("serving replay config is valid");
+    let wall_secs = start.elapsed().as_secs_f64();
+    let totals = report.counter_totals;
+    let summary = |h: &Histogram, bound: u64| {
+        (
+            h.percentile(0.50).unwrap_or(0),
+            h.percentile(0.95).unwrap_or(0),
+            h.percentile(0.99).unwrap_or(0),
+            h.max().unwrap_or(0),
+            bound,
+        )
+    };
+    ServingLane {
+        requests: report.requests_sent,
+        requested,
+        floor_enforced: requests == requested,
+        virtual_slots: report.slots,
+        wall_secs,
+        ingest_rps: report.requests_sent as f64 / wall_secs.max(f64::MIN_POSITIVE),
+        digest: report.fold.digest(),
+        completed: totals.completed,
+        missed: totals.missed,
+        critical_missed: totals.critical_missed,
+        shed_best_effort: totals.dropped_best_effort,
+        obs_overflows: report.obs_overflows,
+        critical: summary(&report.e2e_critical, report.deadline_bound_critical),
+        best_effort: summary(&report.e2e_best_effort, report.deadline_bound_best_effort),
+    }
 }
 
 /// slots/s of `run_trial` for one Fig. 7 system.
@@ -687,6 +752,24 @@ fn main() {
         admission.latency_max_ns,
     );
 
+    // Serving replay lane: the ioguard-serve front-end chewing through a
+    // deterministic FleetArrivals-driven request stream on the virtual
+    // clock (DESIGN.md §16). Latencies are virtual slots; the wall clock
+    // only rates ingest throughput.
+    let serving = serving_lane(&mode, host_parallelism);
+    eprintln!(
+        "bench-summary: serving {} requests in {:.2}s ({} req/s wall), \
+         critical p99 {} (bound {}), best-effort p99 {} (bound {}), digest {:#018x}",
+        serving.requests,
+        serving.wall_secs,
+        rate(serving.ingest_rps),
+        serving.critical.2,
+        serving.critical.4,
+        serving.best_effort.2,
+        serving.best_effort.4,
+        serving.digest,
+    );
+
     // Engine slot rate: the Fig. 7 lineup from the experiment hot path.
     let workload = TrialWorkload::generate(&TrialConfig::new(4, 0.70, 7));
     let mut slot_rates: Vec<(String, f64)> = Vec::new();
@@ -721,18 +804,141 @@ fn main() {
         .iter()
         .find(|(regions, _, _)| *regions == 8)
         .map_or(0.0, |(_, _, speedup)| *speedup);
-    let mut history = prior_history("BENCH_noc.json", 7);
-    history.push(format!(
-        "{{\"mode\": \"{}\", \"admission_speedup\": {:.1}, \"admission_p95_ns\": {}, \
-         \"scaling_speedup_8regions\": {:.2}}}",
-        mode.label, admission.speedup, admission.latency_p95_ns, eight_region_speedup,
-    ));
+    // Evaluate every acceptance gate BEFORE assembling the document: the
+    // rolling history may only record fully-completed runs (an aborted
+    // run still writes its JSON for inspection, but appends nothing).
+    let mut failures: Vec<String> = Vec::new();
+
+    // Acceptance floor: quiescence skipping must beat per-cycle stepping
+    // by at least 3x on the sparse horizon.
+    if sparse.speedup() < 3.0 {
+        failures.push(format!(
+            "sparse speedup {:.2}x is below the 3x floor",
+            sparse.speedup()
+        ));
+    }
+
+    // Bounded draining is a hard guarantee, not a trend: every completed
+    // switch must have landed within the admission-time budget.
+    if drain.max > drain.drain_budget {
+        failures.push(format!(
+            "max drain latency {} slots exceeds the {}-slot budget",
+            drain.max, drain.drain_budget
+        ));
+    }
+
+    // Observability must stay out of the NoC's way: <5% throughput cost
+    // with the trace sink and latency histogram attached.
+    if obs_overhead_pct >= 5.0 {
+        failures.push(format!(
+            "obs overhead {obs_overhead_pct:.1}% is above the 5% ceiling"
+        ));
+    }
+
+    // Incremental-admission floor: at 10^4 residents one ledger decision
+    // must beat the full sweep by >=10x. The measurement is wall-clock, so
+    // like the scaling floor it is only a hard gate on hosts with enough
+    // hardware threads to time reliably; the verdict-equality assertions
+    // inside the lane hold everywhere regardless.
+    if host_parallelism >= mode.admission_min_cores {
+        if admission.speedup < mode.admission_floor {
+            failures.push(format!(
+                "admission speedup {:.1}x at {} residents is below the {:.1}x floor",
+                admission.speedup, admission.residents, mode.admission_floor,
+            ));
+        }
+    } else {
+        eprintln!(
+            "bench-summary: admission floor advisory — host has {host_parallelism} hardware \
+             thread(s), {} required to enforce the {:.1}x gate (measured {:.1}x)",
+            mode.admission_min_cores, mode.admission_floor, admission.speedup,
+        );
+    }
+
+    // PDES scaling floor — but a measured multi-thread speedup needs
+    // multiple hardware threads, so the floor is only a hard gate on hosts
+    // that can physically deliver it. Elsewhere (e.g. a 1-core CI box) the
+    // measured rows in the JSON are the record, and exact equivalence has
+    // already been asserted above regardless.
+    if host_parallelism >= mode.scaling_min_cores {
+        if eight_region_speedup < mode.scaling_floor {
+            failures.push(format!(
+                "8-region speedup {eight_region_speedup:.2}x is below the {:.1}x floor \
+                 on a {host_parallelism}-core host",
+                mode.scaling_floor,
+            ));
+        }
+    } else {
+        eprintln!(
+            "bench-summary: scaling floor advisory — host has {host_parallelism} hardware \
+             thread(s), {} required to enforce the {:.1}x gate (measured {eight_region_speedup:.2}x)",
+            mode.scaling_min_cores, mode.scaling_floor,
+        );
+    }
+
+    // Serving gates. Structural invariants hold on any host: the replay
+    // must deliver every request it set out to send, and the observer
+    // ring must never overflow (an overflowing ring means the counters
+    // and histograms cannot be trusted).
+    if serving.requests < serving.requested && serving.floor_enforced {
+        failures.push(format!(
+            "serving lane sent {} of {} requests",
+            serving.requests, serving.requested
+        ));
+    }
+    if serving.obs_overflows > 0 {
+        failures.push(format!(
+            "serving observer ring overflowed {} times",
+            serving.obs_overflows
+        ));
+    }
+    // The per-class deadline gate: p99 end-to-end latency (virtual
+    // slots) must sit under the largest relative deadline of the class.
+    // Virtual-clock latency is host-independent, but the full-size run
+    // only executes on multi-core hosts, so the gate rides the same
+    // advisory rule as the other wall-clock floors.
+    if host_parallelism >= mode.serving_min_cores {
+        if serving.critical.2 > serving.critical.4 {
+            failures.push(format!(
+                "serving critical p99 {} slots exceeds the {}-slot deadline bound",
+                serving.critical.2, serving.critical.4
+            ));
+        }
+        if serving.best_effort.2 > serving.best_effort.4 {
+            failures.push(format!(
+                "serving best-effort p99 {} slots exceeds the {}-slot deadline bound",
+                serving.best_effort.2, serving.best_effort.4
+            ));
+        }
+    } else {
+        eprintln!(
+            "bench-summary: serving deadline gate advisory — host has {host_parallelism} \
+             hardware thread(s), {} required (critical p99 {} vs bound {})",
+            mode.serving_min_cores, serving.critical.2, serving.critical.4,
+        );
+    }
+
+    let run_completed = failures.is_empty();
+    let history = rolled_history(
+        prior_history("BENCH_noc.json", 7),
+        format!(
+            "{{\"mode\": \"{}\", \"admission_speedup\": {:.1}, \"admission_p95_ns\": {}, \
+             \"scaling_speedup_8regions\": {:.2}, \"serving_rps\": {:.0}}}",
+            mode.label,
+            admission.speedup,
+            admission.latency_p95_ns,
+            eight_region_speedup,
+            serving.ingest_rps,
+        ),
+        run_completed,
+        7,
+    );
     let history_entries: Vec<String> = history.iter().map(|entry| format!("    {entry}")).collect();
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"ioguard-bench-noc/v4\",\n",
+            "  \"schema\": \"ioguard-bench-noc/v5\",\n",
             "  \"mode\": \"{mode}\",\n",
             "  \"host_parallelism\": {host_par},\n",
             "  \"noc\": {{\n",
@@ -786,6 +992,23 @@ fn main() {
             "      \"decision_latency_ns\": {{ \"p50\": {adm_p50}, \"p95\": {adm_p95}, \"max\": {adm_max} }}\n",
             "    }}\n",
             "  }},\n",
+            "  \"serving\": {{\n",
+            "    \"requests\": {srv_requests},\n",
+            "    \"requested\": {srv_requested},\n",
+            "    \"floor_enforced\": {srv_floor},\n",
+            "    \"virtual_slots\": {srv_slots},\n",
+            "    \"wall_secs\": {srv_wall:.3},\n",
+            "    \"ingest_requests_per_sec\": {srv_rps},\n",
+            "    \"digest\": \"{srv_digest:#018x}\",\n",
+            "    \"completed\": {srv_completed},\n",
+            "    \"missed\": {srv_missed},\n",
+            "    \"critical_missed\": {srv_crit_missed},\n",
+            "    \"shed_best_effort\": {srv_shed},\n",
+            "    \"obs_overflows\": {srv_overflows},\n",
+            "    \"e2e_critical_slots\": {{ \"p50\": {srv_c_p50}, \"p95\": {srv_c_p95}, \"p99\": {srv_c_p99}, \"max\": {srv_c_max}, \"deadline_bound\": {srv_c_bound} }},\n",
+            "    \"e2e_best_effort_slots\": {{ \"p50\": {srv_b_p50}, \"p95\": {srv_b_p95}, \"p99\": {srv_b_p99}, \"max\": {srv_b_max}, \"deadline_bound\": {srv_b_bound} }},\n",
+            "    \"deadline_gate_enforced\": {srv_gate}\n",
+            "  }},\n",
             "  \"engine\": {{\n",
             "    \"slot_rate_slots_per_sec\": {{\n",
             "{slots}\n",
@@ -834,6 +1057,29 @@ fn main() {
         adm_p50 = admission.latency_p50_ns,
         adm_p95 = admission.latency_p95_ns,
         adm_max = admission.latency_max_ns,
+        srv_requests = serving.requests,
+        srv_requested = serving.requested,
+        srv_floor = serving.floor_enforced,
+        srv_slots = serving.virtual_slots,
+        srv_wall = serving.wall_secs,
+        srv_rps = rate(serving.ingest_rps),
+        srv_digest = serving.digest,
+        srv_completed = serving.completed,
+        srv_missed = serving.missed,
+        srv_crit_missed = serving.critical_missed,
+        srv_shed = serving.shed_best_effort,
+        srv_overflows = serving.obs_overflows,
+        srv_c_p50 = serving.critical.0,
+        srv_c_p95 = serving.critical.1,
+        srv_c_p99 = serving.critical.2,
+        srv_c_max = serving.critical.3,
+        srv_c_bound = serving.critical.4,
+        srv_b_p50 = serving.best_effort.0,
+        srv_b_p95 = serving.best_effort.1,
+        srv_b_p99 = serving.best_effort.2,
+        srv_b_max = serving.best_effort.3,
+        srv_b_bound = serving.best_effort.4,
+        srv_gate = host_parallelism >= mode.serving_min_cores,
         slots = slot_entries.join(",\n"),
         horizon = mode.slot_horizon,
         history = history_entries.join(",\n"),
@@ -842,76 +1088,14 @@ fn main() {
     println!("{json}");
     eprintln!("bench-summary: wrote BENCH_noc.json");
 
-    // Acceptance floor: quiescence skipping must beat per-cycle stepping
-    // by at least 3x on the sparse horizon.
-    if sparse.speedup() < 3.0 {
-        eprintln!(
-            "bench-summary: FAIL — sparse speedup {:.2}x is below the 3x floor",
-            sparse.speedup()
-        );
-        std::process::exit(1);
-    }
-
-    // Bounded draining is a hard guarantee, not a trend: every completed
-    // switch must have landed within the admission-time budget.
-    if drain.max > drain.drain_budget {
-        eprintln!(
-            "bench-summary: FAIL — max drain latency {} slots exceeds the {}-slot budget",
-            drain.max, drain.drain_budget
-        );
-        std::process::exit(1);
-    }
-
-    // Observability must stay out of the NoC's way: <5% throughput cost
-    // with the trace sink and latency histogram attached.
-    if obs_overhead_pct >= 5.0 {
-        eprintln!(
-            "bench-summary: FAIL — obs overhead {obs_overhead_pct:.1}% is above the 5% ceiling"
-        );
-        std::process::exit(1);
-    }
-
-    // Incremental-admission floor: at 10⁴ residents one ledger decision
-    // must beat the full sweep by ≥10x. The measurement is wall-clock, so
-    // like the scaling floor it is only a hard gate on hosts with enough
-    // hardware threads to time reliably; the verdict-equality assertions
-    // inside the lane hold everywhere regardless.
-    if host_parallelism >= mode.admission_min_cores {
-        if admission.speedup < mode.admission_floor {
-            eprintln!(
-                "bench-summary: FAIL — admission speedup {:.1}x at {} residents is below \
-                 the {:.1}x floor",
-                admission.speedup, admission.residents, mode.admission_floor,
-            );
-            std::process::exit(1);
+    if !run_completed {
+        for failure in &failures {
+            eprintln!("bench-summary: FAIL — {failure}");
         }
-    } else {
         eprintln!(
-            "bench-summary: admission floor advisory — host has {host_parallelism} hardware \
-             thread(s), {} required to enforce the {:.1}x gate (measured {:.1}x)",
-            mode.admission_min_cores, mode.admission_floor, admission.speedup,
+            "bench-summary: {} gate(s) failed; history entry NOT recorded",
+            failures.len()
         );
-    }
-
-    // PDES scaling floor — but a measured multi-thread speedup needs
-    // multiple hardware threads, so the floor is only a hard gate on hosts
-    // that can physically deliver it. Elsewhere (e.g. a 1-core CI box) the
-    // measured rows in the JSON are the record, and exact equivalence has
-    // already been asserted above regardless.
-    if host_parallelism >= mode.scaling_min_cores {
-        if eight_region_speedup < mode.scaling_floor {
-            eprintln!(
-                "bench-summary: FAIL — 8-region speedup {eight_region_speedup:.2}x is below the \
-                 {:.1}x floor on a {host_parallelism}-core host",
-                mode.scaling_floor,
-            );
-            std::process::exit(1);
-        }
-    } else {
-        eprintln!(
-            "bench-summary: scaling floor advisory — host has {host_parallelism} hardware \
-             thread(s), {} required to enforce the {:.1}x gate (measured {eight_region_speedup:.2}x)",
-            mode.scaling_min_cores, mode.scaling_floor,
-        );
+        std::process::exit(1);
     }
 }

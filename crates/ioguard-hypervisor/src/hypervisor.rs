@@ -388,6 +388,14 @@ impl Hypervisor {
         self.obs.as_deref()
     }
 
+    /// Mutable access to the attached observer. Long-running front-ends
+    /// (`ioguard-serve`) drain and clear the observer's trace ring every
+    /// slot so the ring never overflows while the monotonic counters and
+    /// latency histograms keep accumulating.
+    pub fn obs_mut(&mut self) -> Option<&mut HvObs> {
+        self.obs.as_deref_mut()
+    }
+
     /// Detaches and returns the observer (the hypervisor keeps running
     /// unobserved).
     pub fn take_obs(&mut self) -> Option<Box<HvObs>> {

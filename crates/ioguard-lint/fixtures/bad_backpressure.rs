@@ -1,0 +1,38 @@
+//! Seeded-bad fixture for the serving front-end back-pressure invariant
+//! (ISSUE 10): per-client request backlogs grown with no adjacent
+//! capacity guard would let a babbling client spill unbounded work into
+//! the server, defeating the typed `Throttled`/`Shed` back-pressure.
+//! CI runs `ioguard-lint -- check` over this file and asserts a
+//! non-zero exit with `unbounded-spillover` findings.
+
+use std::collections::VecDeque;
+
+pub struct ClientLane {
+    backlog: VecDeque<u64>,
+    response_spillover: Vec<u64>,
+}
+
+impl ClientLane {
+    /// The babbling-client hole: every decoded request is parked in the
+    /// backlog with nothing comparing its length to a capacity first.
+    pub fn park(&mut self, task_id: u64) {
+        self.backlog.push_back(task_id);
+    }
+
+    /// Same defect on the response side: unacknowledged responses
+    /// accumulate forever instead of being shed at a bound.
+    pub fn defer_response(&mut self, token: u64) {
+        self.response_spillover.push(token);
+    }
+
+    /// The legal shape, for contrast: the grow sits under its bound and
+    /// the overflow path sheds with a typed verdict upstream.
+    pub fn park_bounded(&mut self, task_id: u64, backlog_capacity: usize) -> bool {
+        if self.backlog.len() < backlog_capacity {
+            self.backlog.push_back(task_id);
+            true
+        } else {
+            false
+        }
+    }
+}

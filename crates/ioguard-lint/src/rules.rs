@@ -125,6 +125,7 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
     "ioguard-obs",
     "ioguard-reconfig",
     "ioguard-fleet",
+    "ioguard-serve",
 ];
 
 /// Crates whose `u64` time/slot arithmetic must be checked/saturating.
@@ -133,6 +134,7 @@ pub const CHECKED_ARITH_CRATES: &[&str] = &[
     "ioguard-hypervisor",
     "ioguard-reconfig",
     "ioguard-fleet",
+    "ioguard-serve",
 ];
 
 /// Crates where configuration is immutable once live: every change goes
@@ -152,12 +154,13 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "ioguard-obs",
     "ioguard-reconfig",
     "ioguard-fleet",
+    "ioguard-serve",
 ];
 
 /// Crates holding rejected-admission spillover/retry buffers: every grow
 /// site must sit next to an explicit capacity guard (see
 /// [`rule::UNBOUNDED_SPILLOVER`]).
-pub const BOUNDED_SPILLOVER_CRATES: &[&str] = &["ioguard-fleet"];
+pub const BOUNDED_SPILLOVER_CRATES: &[&str] = &["ioguard-fleet", "ioguard-serve"];
 
 impl RuleSet {
     /// Every rule enabled (fixture mode / explicit paths).

@@ -87,6 +87,20 @@ fn seeded_spillover_fixture_is_rejected() {
 }
 
 #[test]
+fn seeded_backpressure_fixture_is_rejected() {
+    let path = fixture("bad_backpressure.rs");
+    let violations = check_paths(&[path.as_path()]).expect("fixture readable");
+    assert_eq!(
+        violations
+            .iter()
+            .filter(|v| v.rule == rule::UNBOUNDED_SPILLOVER)
+            .count(),
+        2,
+        "both unguarded backlog grows flagged, the bounded one exempt: {violations:?}"
+    );
+}
+
+#[test]
 fn seeded_hotpath_fixture_is_rejected() {
     let path = fixture("bad_hotpath.rs");
     let violations = check_paths(&[path.as_path()]).expect("fixture readable");

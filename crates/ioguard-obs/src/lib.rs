@@ -23,6 +23,9 @@
 //! * [`export`] — hand-formatted JSON helpers for the `trace-export` bin
 //!   (`OBS_snapshot.json`), mirroring the `bench-summary` style because the
 //!   workspace has no JSON serializer dependency.
+//! * [`prom`] — Prometheus text-format rendering of the counter registry
+//!   and latency histograms, the scrape surface of the `ioguard-serve`
+//!   front-end.
 //!
 //! Everything here is deterministic by construction (no wall clocks outside
 //! the gated `profiling` feature, no hash-ordered containers), so traces
@@ -36,6 +39,7 @@ pub mod counters;
 pub mod event;
 pub mod export;
 pub mod hist;
+pub mod prom;
 pub mod sink;
 pub mod span;
 

@@ -1,0 +1,172 @@
+//! Prometheus text-format rendering of counters and histograms.
+//!
+//! Long-running front-ends (`ioguard-serve`) expose their live
+//! [`CounterRegistry`] and latency [`Histogram`]s in the Prometheus
+//! exposition format: `# HELP`/`# TYPE` headers, one sample line per
+//! labelled series, cumulative `_bucket{le="…"}` series for histograms
+//! plus `_sum` and `_count`. Rendering is pure string formatting over
+//! the inputs — same state, same bytes — so scrape output participates
+//! in the determinism discipline like every other trace surface.
+//!
+//! Only VMs with at least one non-zero counter emit samples, keeping
+//! the page bounded by *active* clients rather than registry capacity.
+
+use std::fmt::Write as _;
+
+use crate::counters::CounterRegistry;
+use crate::hist::Histogram;
+
+/// Metric descriptors for the per-VM counter fields.
+const COUNTER_SERIES: [(&str, &str); 7] = [
+    (
+        "ioguard_completed_total",
+        "Jobs completed before their deadline",
+    ),
+    (
+        "ioguard_missed_total",
+        "Jobs whose deadline passed before completion",
+    ),
+    (
+        "ioguard_critical_missed_total",
+        "Criticality-marked subset of missed jobs",
+    ),
+    (
+        "ioguard_throttled_submissions_total",
+        "Submissions refused by flood control",
+    ),
+    (
+        "ioguard_throttled_slots_total",
+        "Slots denied to a VM with buffered work",
+    ),
+    ("ioguard_retries_total", "Watchdog-driven retries"),
+    (
+        "ioguard_shed_best_effort_total",
+        "Best-effort jobs shed by graceful degradation",
+    ),
+];
+
+/// Renders the per-VM counter registry as Prometheus counter series.
+pub fn render_counters(registry: &CounterRegistry, out: &mut String) {
+    let mut values: Vec<Vec<(usize, u64)>> = vec![Vec::new(); COUNTER_SERIES.len()];
+    for (vm, counters) in registry.per_vm().iter().enumerate() {
+        let fields = [
+            counters.completed,
+            counters.missed,
+            counters.critical_missed,
+            counters.throttled_submissions,
+            counters.throttled_slots,
+            counters.retries,
+            counters.dropped_best_effort,
+        ];
+        if fields.iter().all(|&v| v == 0) {
+            continue;
+        }
+        for (series, value) in values.iter_mut().zip(fields) {
+            series.push((vm, value));
+        }
+    }
+    for ((name, help), series) in COUNTER_SERIES.iter().zip(values) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (vm, value) in series {
+            let _ = writeln!(out, "{name}{{vm=\"{vm}\"}} {value}");
+        }
+    }
+}
+
+/// Renders one histogram as a cumulative Prometheus histogram: one
+/// `_bucket{le="…"}` line per non-empty prefix step, then `+Inf`,
+/// `_sum` and `_count`.
+pub fn render_histogram(name: &str, hist: &Histogram, out: &mut String) {
+    let _ = writeln!(out, "# HELP {name} Latency distribution in slots");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    let top = hist.bucket_counts().len().saturating_sub(1);
+    for (index, &count) in hist.bucket_counts().iter().enumerate() {
+        cumulative = cumulative.saturating_add(count);
+        if count == 0 || index >= top {
+            continue;
+        }
+        let upper = if index == 0 {
+            0
+        } else {
+            (1u64 << index).saturating_sub(1)
+        };
+        let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+    let _ = writeln!(out, "{name}_sum {}", hist.sum());
+    let _ = writeln!(out, "{name}_count {}", hist.count());
+}
+
+/// Renders a full scrape page: the counter registry plus the given
+/// named histograms.
+pub fn render_page(registry: &CounterRegistry, histograms: &[(&str, &Histogram)]) -> String {
+    let mut out = String::new();
+    render_counters(registry, &mut out);
+    for (name, hist) in histograms {
+        render_histogram(name, hist, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ObsEvent, ObsKind};
+
+    #[test]
+    fn counters_page_lists_only_active_vms() {
+        let mut registry = CounterRegistry::new(8);
+        let complete = |vm: u32| ObsEvent {
+            seq: 0,
+            at: 0,
+            kind: ObsKind::Complete,
+            vm,
+            task: 1,
+            arg: 4,
+        };
+        registry.fold_event(&complete(2));
+        registry.fold_event(&complete(2));
+        registry.fold_event(&complete(5));
+        let page = render_page(&registry, &[]);
+        assert!(page.contains("# TYPE ioguard_completed_total counter"));
+        assert!(page.contains("ioguard_completed_total{vm=\"2\"} 2"));
+        assert!(page.contains("ioguard_completed_total{vm=\"5\"} 1"));
+        assert!(!page.contains("vm=\"0\""), "idle VMs emit no samples");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut hist = Histogram::new();
+        for value in [1u64, 2, 3, 9, 1000] {
+            hist.record(value);
+        }
+        let mut out = String::new();
+        render_histogram("ioguard_e2e", &hist, &mut out);
+        assert!(out.contains("ioguard_e2e_bucket{le=\"1\"} 1"));
+        assert!(out.contains("ioguard_e2e_bucket{le=\"3\"} 3"));
+        assert!(out.contains("ioguard_e2e_bucket{le=\"15\"} 4"));
+        assert!(out.contains("ioguard_e2e_bucket{le=\"+Inf\"} 5"));
+        assert!(out.contains("ioguard_e2e_sum 1015"));
+        assert!(out.contains("ioguard_e2e_count 5"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mut registry = CounterRegistry::new(4);
+        registry.fold_event(&ObsEvent {
+            seq: 0,
+            at: 0,
+            kind: ObsKind::DeadlineMiss,
+            vm: 1,
+            task: 2,
+            arg: 1,
+        });
+        let mut hist = Histogram::new();
+        hist.record(7);
+        let a = render_page(&registry, &[("h", &hist)]);
+        let b = render_page(&registry, &[("h", &hist)]);
+        assert_eq!(a, b);
+    }
+}

@@ -30,6 +30,7 @@ const GOLDEN_END_TO_END: &str = include_str!("../goldens/end_to_end.trace");
 const GOLDEN_CHAOS: &str = include_str!("../goldens/chaos.trace");
 const GOLDEN_RECONFIG: &str = include_str!("../goldens/reconfig.trace");
 const GOLDEN_FLEET: &str = include_str!("../goldens/fleet.trace");
+const GOLDEN_SERVE: &str = include_str!("../goldens/serve.trace");
 
 fn end_to_end_trace(seed: u64) -> String {
     let run = end_to_end_observed(seed);
@@ -70,6 +71,25 @@ fn fleet_trace(seed: u64) -> String {
 /// must render the same bytes as the single-threaded run.
 fn fleet_trace_mt(seed: u64) -> String {
     ioguard_fleet::canonical_run(seed, 8).expect("canonical fleet run")
+}
+
+/// The canonical serving scenario (scripted clients, a babbler, device
+/// stall, mode changes) rendered through the serve trace sink. The
+/// scenario pins its own seed; the engine batch in
+/// `assert_matches_golden` still replays it 8× at 1 and 8 threads.
+fn serve_trace(_seed: u64) -> String {
+    let outcome = ioguard_serve::replay::canonical_scenario(1);
+    assert!(
+        outcome.fold_matches_live,
+        "serve: counter fold of the trace must reproduce the live registry"
+    );
+    outcome.trace
+}
+
+/// Same scenario with frame decoding fanned out over 8 workers — the
+/// serve loop must render the same bytes.
+fn serve_trace_mt(_seed: u64) -> String {
+    ioguard_serve::replay::canonical_scenario(8).trace
 }
 
 fn assert_matches_golden(golden: &str, name: &str, render: impl Fn(u64) -> String + Sync) {
@@ -113,6 +133,34 @@ fn fleet_trace_matches_golden_at_any_thread_count() {
 }
 
 #[test]
+fn serve_trace_matches_golden_at_any_thread_count() {
+    assert_matches_golden(GOLDEN_SERVE, "serve", serve_trace);
+    assert_matches_golden(GOLDEN_SERVE, "serve-mt", serve_trace_mt);
+}
+
+/// The full serving differential: 1 vs 8 decode workers must agree on
+/// the trace bytes, the response-stream fold (counts + digest) and the
+/// per-client counter registry — not just the rendering.
+#[test]
+fn serve_scenario_is_worker_count_independent() {
+    let lone = ioguard_serve::replay::canonical_scenario(1);
+    let wide = ioguard_serve::replay::canonical_scenario(8);
+    assert_eq!(
+        lone.trace, wide.trace,
+        "serve traces diverged across workers"
+    );
+    assert_eq!(
+        lone.fold, wide.fold,
+        "response folds diverged across workers"
+    );
+    assert_eq!(
+        lone.counters, wide.counters,
+        "counter registries diverged across workers"
+    );
+    assert!(lone.fold_matches_live && wide.fold_matches_live);
+}
+
+#[test]
 #[ignore = "writes tests/goldens/*.trace; run only after an intentional trace change"]
 fn bless_goldens() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/goldens");
@@ -123,4 +171,5 @@ fn bless_goldens() {
     std::fs::write(format!("{dir}/reconfig.trace"), reconfig_trace(SEED))
         .expect("write reconfig golden");
     std::fs::write(format!("{dir}/fleet.trace"), fleet_trace(SEED)).expect("write fleet golden");
+    std::fs::write(format!("{dir}/serve.trace"), serve_trace(SEED)).expect("write serve golden");
 }

@@ -1,0 +1,235 @@
+//! Serving back-pressure and graceful-degradation integration tests
+//! (ISSUE 10 satellite): a babbling client driven by an
+//! `ioguard-faults` adversary plan floods the front-end and is answered
+//! with typed `Throttled`/`Shed` verdicts while the well-behaved
+//! clients on the same shard keep a **zero** deadline-miss count; and
+//! staged mode changes (`Normal → Degraded → PchannelOnly`) surface as
+//! typed `ModeChange` responses exactly once per connected client per
+//! transition.
+
+use bytes::{Bytes, BytesMut};
+use ioguard_faults::FaultPlan;
+use ioguard_hypervisor::driver::RetryPolicy;
+use ioguard_hypervisor::hypervisor::{AdmissionGuard, DegradationPolicy, HvMode};
+use ioguard_sched::{PeriodicServer, SporadicTask, TaskSet};
+use ioguard_serve::server::{ServeCluster, ServeConfig};
+use ioguard_serve::wire::{self, Request, Response};
+
+const WELL_BEHAVED: [u32; 2] = [0, 1];
+const BABBLER: u32 = 2;
+
+fn serve_config() -> ServeConfig {
+    let mut config = ServeConfig::new(1, 4);
+    config.guard = AdmissionGuard {
+        window: 32,
+        max_submissions: 4,
+        throttle_slots: 64,
+    };
+    config.watchdog = Some(RetryPolicy {
+        timeout_slots: 4,
+        max_retries: 2,
+        backoff_base: 2,
+        backoff_cap: 8,
+    });
+    config.degradation = DegradationPolicy {
+        healthy_slots_to_recover: 1_000_000,
+    };
+    config.pool_capacity = 4;
+    config.backlog_capacity = 4;
+    config.max_clients = 16;
+    config.seed = 0xBABB1E;
+    config
+}
+
+fn server() -> PeriodicServer {
+    PeriodicServer::new(256, 16).expect("valid server")
+}
+
+fn tasks() -> TaskSet {
+    let mut set = TaskSet::new();
+    set.push(SporadicTask::new(2048, 2, 1024).expect("valid task"));
+    set
+}
+
+fn frame(client: u32, task_id: u64, wcet: u64, deadline_rel: u64, critical: bool) -> Bytes {
+    let request = Request {
+        client,
+        task_id,
+        wcet,
+        deadline_rel,
+        critical,
+        payload: Bytes::copy_from_slice(&task_id.to_le_bytes()),
+    };
+    wire::encode_request_frame(&request).expect("valid request encodes")
+}
+
+/// One frame carrying `flood` best-effort requests from the babbler —
+/// the adversary plan decides the intensity.
+fn babble_frame(slot: u64, flood: u64) -> Bytes {
+    let mut wire_buf = BytesMut::new();
+    for burst in 0..flood {
+        let request = Request {
+            client: BABBLER,
+            task_id: slot * 1000 + burst,
+            wcet: 1,
+            deadline_rel: 8,
+            critical: false,
+            payload: Bytes::copy_from_slice(&burst.to_le_bytes()),
+        };
+        wire::encode_request(&request, &mut wire_buf).expect("valid request encodes");
+    }
+    wire_buf.freeze()
+}
+
+#[test]
+fn babbler_is_throttled_and_shed_without_hurting_the_well_behaved() {
+    let plan = FaultPlan::new(0xBABB1E).with_adversary(BABBLER as usize, 6);
+    let flood = plan.adversary_flood;
+    let mut cluster = ServeCluster::new(serve_config()).expect("cluster builds");
+
+    for client in WELL_BEHAVED {
+        let resp = cluster.connect(client, server(), &tasks());
+        assert!(
+            matches!(resp, Response::Connected { .. }),
+            "well-behaved client {client} must connect: {resp}"
+        );
+    }
+    let resp = cluster.connect(BABBLER, server(), &tasks());
+    assert!(
+        matches!(resp, Response::Connected { .. }),
+        "babbler connects: {resp}"
+    );
+
+    let mut babbler_throttled = 0u64;
+    let mut babbler_shed = 0u64;
+    let mut well_behaved_sent = 0u64;
+    let mut well_behaved_completed = 0u64;
+
+    for slot in 0..400u64 {
+        let mut frames: Vec<(u32, Bytes)> = Vec::new();
+        // The well-behaved cadence: one comfortable critical request
+        // per client every 8 slots.
+        if slot % 8 == 4 {
+            for client in WELL_BEHAVED {
+                frames.push((
+                    client,
+                    frame(client, slot * 10 + u64::from(client), 1, 64, true),
+                ));
+                well_behaved_sent += 1;
+            }
+        }
+        // The babble storm, intensity from the adversary plan.
+        if (50..120).contains(&slot) {
+            frames.push((BABBLER, babble_frame(slot, flood)));
+        }
+        let mut responses = cluster.ingest(&frames, 1);
+        responses.extend(cluster.step());
+        for resp in &responses {
+            match *resp {
+                Response::Throttled { client, .. } if client == BABBLER => babbler_throttled += 1,
+                Response::Shed { client, .. } if client == BABBLER => babbler_shed += 1,
+                Response::Completed { client, .. } if WELL_BEHAVED.contains(&client) => {
+                    well_behaved_completed += 1;
+                }
+                Response::Missed { client, .. } => {
+                    assert_eq!(client, BABBLER, "only the babbler may miss deadlines");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    assert!(babbler_throttled > 0, "flood must trip the admission guard");
+    assert!(
+        babbler_shed > 0,
+        "flood must overflow the bounded backlog and shed"
+    );
+    assert_eq!(
+        well_behaved_completed, well_behaved_sent,
+        "every well-behaved request must complete"
+    );
+    for client in WELL_BEHAVED {
+        let counters = cluster
+            .client_counters(client)
+            .expect("well-behaved client has counters");
+        assert_eq!(counters.missed, 0, "client {client} deadline-miss count");
+        assert_eq!(
+            counters.critical_missed, 0,
+            "client {client} critical misses"
+        );
+        assert_eq!(
+            counters.throttled_submissions, 0,
+            "client {client} throttles"
+        );
+    }
+    let babbler_counters = cluster.client_counters(BABBLER).expect("babbler counters");
+    assert!(babbler_counters.throttled_submissions > 0);
+    assert!(babbler_counters.dropped_best_effort > 0);
+}
+
+#[test]
+fn mode_changes_surface_exactly_once_per_client_per_transition() {
+    let mut cluster = ServeCluster::new(serve_config()).expect("cluster builds");
+    for client in [0u32, 1, 2] {
+        let resp = cluster.connect(client, server(), &tasks());
+        assert!(matches!(resp, Response::Connected { .. }), "{resp}");
+    }
+    // Settle one slot so the transition responses are isolated.
+    let _ = cluster.step();
+
+    let mut seen: Vec<(u32, u32)> = Vec::new();
+    for (expected_mode, expected_ordinal) in
+        [(HvMode::Degraded, 1u32), (HvMode::PchannelOnly, 2u32)]
+    {
+        let responses = cluster.degrade(0);
+        assert_eq!(cluster.mode(0), Some(expected_mode));
+        let mut this_transition: Vec<u32> = Vec::new();
+        for resp in &responses {
+            if let Response::ModeChange { client, mode, .. } = *resp {
+                assert_eq!(mode, expected_ordinal, "wrong mode ordinal in {resp}");
+                this_transition.push(client);
+                seen.push((client, mode));
+            }
+        }
+        this_transition.sort_unstable();
+        assert_eq!(
+            this_transition,
+            vec![0, 1, 2],
+            "each connected client hears the transition exactly once"
+        );
+    }
+    // Two transitions × three clients, no duplicates.
+    assert_eq!(seen.len(), 6);
+    let mut deduped = seen.clone();
+    deduped.sort_unstable();
+    deduped.dedup();
+    assert_eq!(deduped.len(), 6, "duplicate ModeChange responses: {seen:?}");
+
+    // While degraded, a critical submission is refused with a typed
+    // verdict and a best-effort one is shed.
+    let responses = cluster.ingest(
+        &[
+            (0, frame(0, 9001, 1, 64, true)),
+            (1, frame(1, 9002, 1, 64, false)),
+        ],
+        1,
+    );
+    let step_responses = cluster.step();
+    let all: Vec<&Response> = responses.iter().chain(step_responses.iter()).collect();
+    assert!(
+        all.iter().any(|r| matches!(
+            r,
+            Response::Rejected {
+                client: 0,
+                reason: wire::RejectReason::Degraded,
+                ..
+            }
+        )),
+        "critical request in PchannelOnly must be rejected as degraded: {all:?}"
+    );
+    assert!(
+        all.iter()
+            .any(|r| matches!(r, Response::Shed { client: 1, .. })),
+        "best-effort request in PchannelOnly must be shed: {all:?}"
+    );
+}

@@ -1,17 +1,23 @@
 //! Offline stand-in for the slice of the `bytes` crate this workspace uses:
-//! little-endian header encoding in `ioguard-noc::packet`. Backed by a plain
-//! `Vec<u8>` — the zero-copy machinery of the real crate is irrelevant for
-//! 16-byte header flits. API-compatible with `bytes` 1.x for the methods
-//! exercised here, so the manifest can be pointed back at crates-io without
-//! code changes.
+//! little-endian header encoding in `ioguard-noc::packet` and zero-copy
+//! request decode in `ioguard-serve::wire`. [`Bytes`] is an offset view
+//! over a shared `Arc<[u8]>` allocation, so [`Bytes::slice`],
+//! [`Bytes::split_to`] and [`Buf::copy_to_bytes`] hand out sub-views
+//! without copying — the same contract as `bytes` 1.x for the methods
+//! exercised here, so the manifest can be pointed back at crates-io
+//! without code changes.
 
-use std::ops::{Deref, DerefMut};
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
-/// Immutable byte buffer (cheaply cloneable, like `bytes::Bytes`).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+/// Immutable byte buffer: a cheaply cloneable view `[off, off+len)` over a
+/// shared allocation (like `bytes::Bytes`).
+#[derive(Debug, Clone, Default)]
 pub struct Bytes {
     inner: Arc<[u8]>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -22,15 +28,72 @@ impl Bytes {
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self { inner: data.into() }
+        let inner: Arc<[u8]> = data.into();
+        let len = inner.len();
+        Self { inner, off: 0, len }
     }
 
     pub fn len(&self) -> usize {
-        self.inner.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+        self.len == 0
+    }
+
+    /// Returns a zero-copy sub-view of `self` for `range` (indices are
+    /// relative to this view, as in `bytes` 1.x).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice [{start}, {end}) out of bounds for Bytes of length {}",
+            self.len
+        );
+        Self {
+            inner: Arc::clone(&self.inner),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes as a zero-copy view,
+    /// leaving `self` as the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(
+            at <= self.len,
+            "split_to({at}) out of bounds for Bytes of length {}",
+            self.len
+        );
+        let head = Self {
+            inner: Arc::clone(&self.inner),
+            off: self.off,
+            len: at,
+        };
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.inner[self.off..self.off + self.len]
     }
 }
 
@@ -38,19 +101,35 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.inner
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.inner
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { inner: v.into() }
+        let inner: Arc<[u8]> = v.into();
+        let len = inner.len();
+        Self { inner, off: 0, len }
     }
 }
 
@@ -87,9 +166,7 @@ impl BytesMut {
 
     /// Freezes the buffer into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes {
-            inner: self.inner.into(),
-        }
+        Bytes::from(self.inner)
     }
 }
 
@@ -110,6 +187,97 @@ impl DerefMut for BytesMut {
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         &self.inner
+    }
+}
+
+/// Read-side buffer trait covering the `get_*` cursor helpers used in
+/// this workspace (all little-endian, as on the VC709 wire format).
+///
+/// All getters panic when the buffer holds fewer bytes than requested,
+/// matching `bytes` 1.x; callers that cannot panic must check
+/// [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies the next `len` bytes out as an owned [`Bytes`] and advances.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(raw)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.len,
+            "advance({cnt}) out of bounds for Bytes of length {}",
+            self.len
+        );
+        self.off += cnt;
+        self.len -= cnt;
+    }
+
+    /// Zero-copy override: the returned view shares this buffer's
+    /// allocation instead of copying.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        self.split_to(len)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
     }
 }
 
@@ -164,5 +332,74 @@ mod tests {
         assert_eq!(frozen[9], 0x0A);
         let clone = frozen.clone();
         assert_eq!(&clone[..], &frozen[..]);
+    }
+
+    #[test]
+    fn buf_cursor_reads_advance() {
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_CAFE);
+        buf.put_u64_le(42);
+        buf.put_u8(7);
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 15);
+        assert_eq!(b.get_u16_le(), 0xBEEF);
+        assert_eq!(b.get_u32_le(), 0xDEAD_CAFE);
+        assert_eq!(b.get_u64_le(), 42);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_and_split_are_zero_copy_views() {
+        let base = Bytes::copy_from_slice(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = base.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        // Nested slice indexes relative to the view, not the allocation.
+        let tail = mid.slice(2..);
+        assert_eq!(&tail[..], &[4, 5]);
+        let mut rest = base.clone();
+        let head = rest.split_to(3);
+        assert_eq!(&head[..], &[0, 1, 2]);
+        assert_eq!(&rest[..], &[3, 4, 5, 6, 7]);
+        // The views alias one allocation.
+        assert_eq!(Arc::as_ptr(&head.inner), Arc::as_ptr(&base.inner));
+        assert_eq!(Arc::as_ptr(&tail.inner), Arc::as_ptr(&base.inner));
+    }
+
+    #[test]
+    fn copy_to_bytes_on_bytes_shares_allocation() {
+        let mut b = Bytes::copy_from_slice(&[9, 8, 7, 6]);
+        let root = Arc::as_ptr(&b.inner);
+        let head = b.copy_to_bytes(2);
+        assert_eq!(&head[..], &[9, 8]);
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(Arc::as_ptr(&head.inner), root);
+    }
+
+    #[test]
+    fn equality_and_hash_follow_the_view() {
+        let a = Bytes::copy_from_slice(&[1, 2, 3, 4]).slice(1..3);
+        let b = Bytes::copy_from_slice(&[2, 3]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        let digest = |x: &Bytes| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn slice_ref_buf_advances() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.get_u8(), 1);
+        assert_eq!(cursor.get_u16_le(), 0x0302);
+        assert_eq!(cursor.remaining(), 2);
+        let rest = cursor.copy_to_bytes(2);
+        assert_eq!(&rest[..], &[4, 5]);
+        assert_eq!(cursor.remaining(), 0);
     }
 }
